@@ -1,0 +1,145 @@
+package avmon
+
+import (
+	"time"
+
+	"avmon/internal/core"
+	"avmon/internal/hashing"
+	"avmon/internal/ids"
+)
+
+// ID identifies a node by its <IP address, port> pair, the unit over
+// which the consistency condition is evaluated (paper Section 3.1).
+type ID = ids.ID
+
+// ParseID converts "a.b.c.d:port" into an ID.
+func ParseID(addr string) (ID, error) { return ids.Parse(addr) }
+
+// SimID returns the identity of simulated node i.
+func SimID(i int) ID { return ids.Sim(i) }
+
+// Variant selects one of the coarse-view sizing policies of Section
+// 4.2 (Table 1).
+type Variant = hashing.Variant
+
+// Coarse-view sizing variants.
+const (
+	// VariantGeneric uses cvs = log2(N).
+	VariantGeneric = hashing.VariantGeneric
+	// VariantMD minimizes memory/bandwidth and discovery time.
+	VariantMD = hashing.VariantMD
+	// VariantMDC minimizes memory/bandwidth, discovery time, and
+	// computation; the paper's recommended default.
+	VariantMDC = hashing.VariantMDC
+	// VariantDC minimizes discovery time and computation.
+	VariantDC = hashing.VariantDC
+)
+
+// HashName selects the hash behind the consistency condition.
+type HashName string
+
+// Supported hashes. MD5 is the paper's default; Fast is a
+// statistically equivalent non-cryptographic mixer recommended for
+// large simulations.
+const (
+	HashMD5  HashName = "md5"
+	HashSHA1 HashName = "sha1"
+	HashFast HashName = "fast"
+)
+
+func (h HashName) hasher() hashing.Hasher {
+	switch h {
+	case HashMD5:
+		return hashing.MD5Hasher{}
+	case HashSHA1:
+		return hashing.SHA1Hasher{}
+	default:
+		return hashing.FastHasher{}
+	}
+}
+
+// SelectionScheme is the consistent, verifiable monitor-selection
+// relation; Related(y, x) reports whether y monitors x. The discovery
+// protocol accepts any implementation (Section 3.2).
+type SelectionScheme = core.SelectionScheme
+
+// NewSelector builds the paper's hash-based selection scheme with
+// pinging-set parameter k and expected system size n.
+func NewSelector(hash HashName, k, n int) (SelectionScheme, error) {
+	return hashing.NewSelector(hash.hasher(), k, n)
+}
+
+// DefaultK returns the paper's default pinging-set parameter
+// K = log2(N).
+func DefaultK(n int) int { return hashing.DefaultK(n) }
+
+// DefaultCVS returns the paper's experimental coarse-view size
+// 4·N^(1/4) (4× Optimal-MDC, Section 5).
+func DefaultCVS(n int) int { return hashing.DefaultCVS(n) }
+
+// ExpectedDiscoveryTime returns the analytical bound on expected
+// monitor-discovery time, in protocol periods (Section 4.1).
+func ExpectedDiscoveryTime(cvs, n int) float64 {
+	return hashing.ExpectedDiscoveryTime(cvs, n)
+}
+
+// VerifyReport checks monitors reported by (or on behalf of) subject
+// against the scheme, enforcing the verifiability property: reported
+// monitors that fail the consistency condition are rejected, so a
+// selfish node cannot have colluders vouch for its availability.
+func VerifyReport(scheme SelectionScheme, subject ID, reported []ID, minimum int) ([]ID, error) {
+	return core.VerifyReport(scheme, subject, reported, minimum)
+}
+
+// NodeOptions carries the per-node protocol knobs shared by simulated
+// clusters and real Services.
+type NodeOptions struct {
+	// K is the pinging-set parameter (0 = log2 N).
+	K int
+	// CVS is the coarse-view size (0 = variant default; if Variant is
+	// also zero, 4·N^(1/4)).
+	CVS int
+	// Variant picks an optimal cvs policy when CVS is 0.
+	Variant Variant
+	// Period is the coarse-membership protocol period T (0 = 1 minute).
+	Period time.Duration
+	// MonitorPeriod is the monitoring period TA (0 = 1 minute).
+	MonitorPeriod time.Duration
+	// Hash picks the hash function (default Fast for clusters, MD5
+	// for Services).
+	Hash HashName
+	// Forgetful enables forgetful pinging (Section 3.3).
+	Forgetful bool
+	// ForgetfulTau overrides τ (0 = 2 minutes).
+	ForgetfulTau time.Duration
+	// ForgetfulC overrides c (0 = 1).
+	ForgetfulC float64
+	// PR2 enables the indegree-repair optimization (Section 5.4).
+	PR2 bool
+	// HistoryStyle selects availability history maintenance: "raw"
+	// (default), "recent:<dur>", or "aged:<alpha>".
+	HistoryStyle string
+	// DisableReshuffle and RejoinFullWeight are ablation knobs used by
+	// the evaluation; they switch off parts of the published protocol.
+	DisableReshuffle bool
+	RejoinFullWeight bool
+}
+
+// cvsFor resolves the effective coarse-view size for system size n.
+func (o NodeOptions) cvsFor(n int) int {
+	if o.CVS > 0 {
+		return o.CVS
+	}
+	if o.Variant != 0 {
+		return o.Variant.CVS(n)
+	}
+	return hashing.DefaultCVS(n)
+}
+
+// kFor resolves the effective K for system size n.
+func (o NodeOptions) kFor(n int) int {
+	if o.K > 0 {
+		return o.K
+	}
+	return hashing.DefaultK(n)
+}

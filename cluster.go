@@ -1,0 +1,477 @@
+package avmon
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"avmon/internal/churn"
+	"avmon/internal/core"
+	"avmon/internal/ids"
+	"avmon/internal/sim"
+	"avmon/internal/simnet"
+	"avmon/internal/trace"
+)
+
+// ChurnModel drives node lifecycle events for a simulated cluster
+// (STAT, SYNTH, SYNTH-BD, or a trace replay).
+type ChurnModel = churn.Model
+
+// NewSTATModel returns the static model: n nodes, no churn.
+func NewSTATModel(n int) ChurnModel { return churn.NewSTAT(n) }
+
+// NewSYNTHModel returns the paper's SYNTH model: exponential
+// join/leave churn at the given per-hour rate (paper: 0.2), no births
+// or deaths.
+func NewSYNTHModel(n int, churnPerHour float64) (ChurnModel, error) {
+	return churn.NewSYNTH(churn.SynthConfig{N: n, ChurnPerHour: churnPerHour})
+}
+
+// NewSYNTHBDModel returns SYNTH plus births and deaths at the given
+// per-day fraction of N (paper: 0.2 for SYNTH-BD, 0.4 for SYNTH-BD2).
+func NewSYNTHBDModel(n int, churnPerHour, birthDeathPerDay float64) (ChurnModel, error) {
+	return churn.NewSYNTHBD(churn.SynthConfig{
+		N:                n,
+		ChurnPerHour:     churnPerHour,
+		BirthDeathPerDay: birthDeathPerDay,
+	})
+}
+
+// NewMixedModel returns a heterogeneous population: nStable nodes
+// that are almost always up plus nFlaky nodes that churn heavily
+// (≈33% availability). Availability-aware node selection — the
+// paper's motivating applications — pays off exactly in this regime.
+func NewMixedModel(nStable, nFlaky int) (ChurnModel, error) {
+	return churn.NewMixed(churn.MixedConfig{NStable: nStable, NFlaky: nFlaky})
+}
+
+// NewPlanetLabModel returns a trace-driven model over a synthetic
+// PlanetLab-like availability trace (N hosts, 1-second granularity,
+// ≈91% availability; see DESIGN.md for the substitution rationale).
+func NewPlanetLabModel(n int, duration time.Duration, seed int64) (ChurnModel, error) {
+	return trace.NewModel(trace.GeneratePlanetLab(n, duration, seed))
+}
+
+// NewOvernetModel returns a trace-driven model over a synthetic
+// Overnet-like churn trace (stable size n, 20-minute granularity,
+// ≈20%/hour churn with ongoing births and deaths).
+func NewOvernetModel(n int, duration time.Duration, seed int64) (ChurnModel, error) {
+	return trace.NewModel(trace.GenerateOvernet(n, duration, seed))
+}
+
+// ClusterConfig parameterizes a simulated AVMON deployment.
+type ClusterConfig struct {
+	// N is the protocol parameter N (expected stable system size).
+	// Defaults to the churn model's StableN.
+	N int
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+	// Options are the per-node protocol knobs.
+	Options NodeOptions
+	// OverreportFraction makes this fraction of nodes report 100%
+	// availability for everything they monitor (Figure 20's attack).
+	OverreportFraction float64
+	// Latency is the constant one-way message latency (default 50ms).
+	Latency time.Duration
+	// Loss is an independent per-message drop probability, for
+	// failure-injection testing (default 0).
+	Loss float64
+}
+
+// Traffic is a snapshot of one node's network counters.
+type Traffic struct {
+	MsgsOut      uint64
+	MsgsIn       uint64
+	BytesOut     uint64
+	BytesIn      uint64
+	UselessMsgs  uint64 // messages sent to currently-dead nodes
+	UselessBytes uint64
+}
+
+// MemberStats is a snapshot of one simulated node's protocol state.
+type MemberStats struct {
+	Alive           bool
+	Dead            bool // left for good
+	EverBorn        bool
+	PSSize          int
+	TSSize          int
+	CVSize          int
+	MemoryEntries   int
+	HashChecks      uint64
+	DiscoveryTimes  []time.Duration // birth → i-th monitor discovered
+	Traffic         Traffic
+	MonPingsSent    uint64
+	MonAcks         uint64
+	PingsSaved      uint64
+	UselessMonPings uint64        // monitoring pings sent while the target was dead
+	BornAtOffset    time.Duration // birth time relative to the simulation epoch
+	UpTime          time.Duration // cumulative time alive
+	LifeTime        time.Duration // birth → now (zero if never born)
+}
+
+// TrueAvailability is the node's actual fraction of lifetime spent
+// alive (the ground truth for Figures 17 and 20).
+func (s MemberStats) TrueAvailability() float64 {
+	if s.LifeTime <= 0 {
+		return 0
+	}
+	return float64(s.UpTime) / float64(s.LifeTime)
+}
+
+// member is one simulated node plus its harness state.
+type member struct {
+	node *core.Node
+	ep   *simnet.Endpoint
+
+	tick *sim.Ticker
+	mon  *sim.Ticker
+
+	everBorn bool
+	dead     bool
+	bornAt   time.Time
+	upSince  time.Time // valid while alive
+	upTotal  time.Duration
+
+	uselessMonPings uint64 // monitoring pings sent to dead targets
+}
+
+// transport adapts a simnet endpoint to core.Transport, counting
+// monitoring pings aimed at currently-dead targets (the "useless
+// pings" of Figure 18).
+type transport struct {
+	net *simnet.Network
+	ep  *simnet.Endpoint
+	m   *member
+}
+
+func (t transport) Send(to ids.ID, m *core.Message) {
+	if m.Type == core.MsgMonPing && !t.net.Alive(to) {
+		t.m.uselessMonPings++
+	}
+	t.ep.Send(to, m, m.WireSize())
+}
+
+// Cluster is a fully simulated AVMON deployment: a discrete-event
+// engine, a simulated network, a churn model, and one protocol node
+// per simulated host. It is the substrate for every experiment in
+// EXPERIMENTS.md and is deterministic for a given seed.
+type Cluster struct {
+	cfg     ClusterConfig
+	eng     *sim.Engine
+	net     *simnet.Network
+	scheme  SelectionScheme
+	model   ChurnModel
+	members []*member
+	k       int
+	cvs     int
+}
+
+var _ churn.Driver = (*Cluster)(nil)
+
+// NewCluster builds a cluster driven by the given churn model. The
+// model must be freshly constructed (Install is called here).
+func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
+	if model == nil {
+		return nil, fmt.Errorf("avmon: nil churn model")
+	}
+	if cfg.N <= 0 {
+		cfg.N = model.StableN()
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("avmon: cannot determine system size N")
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 50 * time.Millisecond
+	}
+	if cfg.OverreportFraction < 0 || cfg.OverreportFraction > 1 {
+		return nil, fmt.Errorf("avmon: OverreportFraction %v outside [0,1]", cfg.OverreportFraction)
+	}
+	k := cfg.Options.kFor(cfg.N)
+	scheme, err := NewSelector(cfg.Options.Hash, k, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New(cfg.Seed)
+	c := &Cluster{
+		cfg:    cfg,
+		eng:    eng,
+		net:    simnet.New(eng, simnet.WithLatency(simnet.ConstantLatency(cfg.Latency)), simnet.WithLoss(cfg.Loss)),
+		scheme: scheme,
+		model:  model,
+		k:      k,
+		cvs:    cfg.Options.cvsFor(cfg.N),
+	}
+	model.Install(eng, c)
+	return c, nil
+}
+
+// --- churn.Driver ----------------------------------------------------
+
+// Birth implements churn.Driver.
+func (c *Cluster) Birth(idx int) {
+	for len(c.members) <= idx {
+		c.members = append(c.members, nil)
+	}
+	if c.members[idx] != nil {
+		return // model misuse; ignore
+	}
+	id := ids.Sim(idx)
+	m := &member{}
+	ep, err := c.net.Attach(id, func(from ids.ID, msg any, _ int) {
+		cm, ok := msg.(*core.Message)
+		if !ok {
+			return
+		}
+		m.node.Handle(from, cm, c.eng.Now())
+	})
+	if err != nil {
+		return // duplicate identity; model misuse
+	}
+	m.ep = ep
+	seed := c.cfg.Seed ^ (int64(idx)+1)*0x5851F42D4C957F2D
+	rng := rand.New(rand.NewSource(seed))
+	nodeCfg := core.Config{
+		ID:               id,
+		Scheme:           c.scheme,
+		Transport:        transport{net: c.net, ep: ep, m: m},
+		Rand:             rng,
+		CVS:              c.cvs,
+		Period:           c.cfg.Options.Period,
+		MonitorPeriod:    c.cfg.Options.MonitorPeriod,
+		Forgetful:        c.cfg.Options.Forgetful,
+		ForgetfulTau:     c.cfg.Options.ForgetfulTau,
+		ForgetfulC:       c.cfg.Options.ForgetfulC,
+		PR2:              c.cfg.Options.PR2,
+		HistoryStyle:     c.cfg.Options.HistoryStyle,
+		Overreport:       rng.Float64() < c.cfg.OverreportFraction,
+		DisableReshuffle: c.cfg.Options.DisableReshuffle,
+		RejoinFullWeight: c.cfg.Options.RejoinFullWeight,
+	}
+	node, err := core.NewNode(nodeCfg)
+	if err != nil {
+		return // config was validated at cluster construction
+	}
+	m.node = node
+	c.members[idx] = m
+	c.bringUp(m)
+	m.everBorn = true
+	m.bornAt = c.eng.Now()
+}
+
+// Rejoin implements churn.Driver.
+func (c *Cluster) Rejoin(idx int) {
+	m := c.memberAt(idx)
+	if m == nil || m.dead || m.ep.Alive() {
+		return
+	}
+	c.bringUp(m)
+}
+
+// Leave implements churn.Driver.
+func (c *Cluster) Leave(idx int) {
+	m := c.memberAt(idx)
+	if m == nil || !m.ep.Alive() {
+		return
+	}
+	c.takeDown(m)
+}
+
+// Death implements churn.Driver.
+func (c *Cluster) Death(idx int) {
+	m := c.memberAt(idx)
+	if m == nil {
+		return
+	}
+	if m.ep.Alive() {
+		c.takeDown(m)
+	}
+	m.dead = true
+}
+
+func (c *Cluster) bringUp(m *member) {
+	now := c.eng.Now()
+	m.ep.SetAlive(true)
+	m.upSince = now
+	bootstrap := c.net.RandomAlive(m.node.ID())
+	m.node.Join(now, bootstrap)
+	period := m.node.Config().Period
+	monPeriod := m.node.Config().MonitorPeriod
+	offTick := time.Duration(c.eng.Rand().Int63n(int64(period)))
+	offMon := time.Duration(c.eng.Rand().Int63n(int64(monPeriod)))
+	m.tick = c.eng.NewTicker(period, offTick, m.node.Tick)
+	m.mon = c.eng.NewTicker(monPeriod, offMon, m.node.MonitorTick)
+}
+
+func (c *Cluster) takeDown(m *member) {
+	now := c.eng.Now()
+	m.node.Leave(now)
+	m.ep.SetAlive(false)
+	m.upTotal += now.Sub(m.upSince)
+	if m.tick != nil {
+		m.tick.Stop()
+	}
+	if m.mon != nil {
+		m.mon.Stop()
+	}
+}
+
+func (c *Cluster) memberAt(idx int) *member {
+	if idx < 0 || idx >= len(c.members) {
+		return nil
+	}
+	return c.members[idx]
+}
+
+// --- Public surface ---------------------------------------------------
+
+// Run advances the simulation by d of virtual time.
+func (c *Cluster) Run(d time.Duration) { c.eng.RunFor(d) }
+
+// Elapsed returns the virtual time since the simulation epoch.
+func (c *Cluster) Elapsed() time.Duration { return c.eng.Elapsed() }
+
+// Scheme returns the cluster's selection scheme.
+func (c *Cluster) Scheme() SelectionScheme { return c.scheme }
+
+// K returns the effective pinging-set parameter.
+func (c *Cluster) K() int { return c.k }
+
+// CVS returns the effective coarse-view size.
+func (c *Cluster) CVS() int { return c.cvs }
+
+// Size returns the number of nodes ever created.
+func (c *Cluster) Size() int { return len(c.members) }
+
+// AliveCount returns the number of currently alive nodes.
+func (c *Cluster) AliveCount() int {
+	n := 0
+	for _, m := range c.members {
+		if m != nil && m.ep.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// EnrollControl births count extra control-group nodes now, subject to
+// the model's ongoing churn, and returns their indexes (the Figure 3
+// methodology).
+func (c *Cluster) EnrollControl(count int) []int {
+	out := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, c.model.Enroll())
+	}
+	return out
+}
+
+// IDOf returns the identity of node idx.
+func (c *Cluster) IDOf(idx int) ID { return ids.Sim(idx) }
+
+// IndexOf recovers a node's index from its identity; ok is false for
+// identities that are not cluster members.
+func (c *Cluster) IndexOf(id ID) (int, bool) {
+	idx, ok := ids.SimIndex(id)
+	if !ok || c.memberAt(idx) == nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// MonitorsOf returns PS(idx) as currently discovered by node idx.
+func (c *Cluster) MonitorsOf(idx int) []ID {
+	m := c.memberAt(idx)
+	if m == nil {
+		return nil
+	}
+	return m.node.PS()
+}
+
+// CoarseViewOf returns node idx's current coarse view CV(idx).
+func (c *Cluster) CoarseViewOf(idx int) []ID {
+	m := c.memberAt(idx)
+	if m == nil {
+		return nil
+	}
+	return m.node.CV()
+}
+
+// TargetsOf returns TS(idx) as currently discovered by node idx.
+func (c *Cluster) TargetsOf(idx int) []ID {
+	m := c.memberAt(idx)
+	if m == nil {
+		return nil
+	}
+	return m.node.TS()
+}
+
+// ReportMonitors invokes the l-out-of-K reporting policy on node idx.
+func (c *Cluster) ReportMonitors(idx, count int) []ID {
+	m := c.memberAt(idx)
+	if m == nil {
+		return nil
+	}
+	return m.node.ReportMonitors(count)
+}
+
+// EstimateBy returns monitor idx's availability estimate of target.
+func (c *Cluster) EstimateBy(idx int, target ID) (float64, bool) {
+	m := c.memberAt(idx)
+	if m == nil {
+		return 0, false
+	}
+	return m.node.EstimateOf(target)
+}
+
+// Stats snapshots node idx's protocol and traffic state.
+func (c *Cluster) Stats(idx int) MemberStats {
+	m := c.memberAt(idx)
+	if m == nil {
+		return MemberStats{}
+	}
+	counters := m.ep.Counters()
+	mon := m.node.MonitoringStats()
+	up := m.upTotal
+	if m.ep.Alive() {
+		up += c.eng.Now().Sub(m.upSince)
+	}
+	var life time.Duration
+	if m.everBorn {
+		life = c.eng.Now().Sub(m.bornAt)
+	}
+	return MemberStats{
+		Alive:          m.ep.Alive(),
+		Dead:           m.dead,
+		EverBorn:       m.everBorn,
+		PSSize:         len(m.node.PS()),
+		TSSize:         len(m.node.TS()),
+		CVSize:         len(m.node.CV()),
+		MemoryEntries:  m.node.MemoryEntries(),
+		HashChecks:     m.node.HashChecks(),
+		DiscoveryTimes: m.node.DiscoveryTimes(),
+		Traffic: Traffic{
+			MsgsOut:      counters.MsgsOut,
+			MsgsIn:       counters.MsgsIn,
+			BytesOut:     counters.BytesOut,
+			BytesIn:      counters.BytesIn,
+			UselessMsgs:  counters.UselessMsgs,
+			UselessBytes: counters.UselessBytes,
+		},
+		MonPingsSent:    mon.PingsSent,
+		MonAcks:         mon.Acks,
+		PingsSaved:      mon.PingsSaved,
+		UselessMonPings: m.uselessMonPings,
+		BornAtOffset:    m.bornAt.Sub(sim.Epoch),
+		UpTime:          up,
+		LifeTime:        life,
+	}
+}
+
+// ResetTraffic zeroes every node's traffic counters (call at the end
+// of an experiment's warm-up phase).
+func (c *Cluster) ResetTraffic() {
+	for _, m := range c.members {
+		if m != nil {
+			m.ep.ResetCounters()
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package avmon
+
+import (
+	"testing"
+	"time"
+)
+
+func statCluster(t *testing.T, n int, seed int64, opts NodeOptions) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{N: n, Seed: seed, Options: opts}, NewSTATModel(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterSTATDiscoversMonitors(t *testing.T) {
+	c := statCluster(t, 100, 1, NodeOptions{})
+	c.Run(20 * time.Minute)
+	// E[D] ≈ N/cvs² < 1 period here, so 20 periods is generous: the
+	// overwhelming majority of nodes must have found ≥1 monitor.
+	found, nodes := 0, 0
+	for i := 0; i < c.Size(); i++ {
+		nodes++
+		if len(c.MonitorsOf(i)) > 0 {
+			found++
+		}
+	}
+	if nodes != 100 {
+		t.Fatalf("cluster has %d nodes, want 100", nodes)
+	}
+	if found < 95 {
+		t.Errorf("%d of %d nodes discovered a monitor in 20 periods", found, nodes)
+	}
+}
+
+func TestClusterDiscoveredMonitorsAreGenuine(t *testing.T) {
+	// Verifiability in practice: every PS entry must satisfy the
+	// consistency condition, and so must every TS entry.
+	c := statCluster(t, 80, 2, NodeOptions{})
+	c.Run(30 * time.Minute)
+	scheme := c.Scheme()
+	for i := 0; i < c.Size(); i++ {
+		self := c.IDOf(i)
+		for _, mon := range c.MonitorsOf(i) {
+			if !scheme.Related(mon, self) {
+				t.Fatalf("node %d has bogus monitor %v", i, mon)
+			}
+		}
+		for _, tgt := range c.TargetsOf(i) {
+			if !scheme.Related(self, tgt) {
+				t.Fatalf("node %d has bogus target %v", i, tgt)
+			}
+		}
+	}
+}
+
+func TestClusterDiscoveryTimeWithinBound(t *testing.T) {
+	// Average first-monitor discovery time must be within a small
+	// constant of the analytical bound E[D] (Section 4.1).
+	c := statCluster(t, 150, 3, NodeOptions{})
+	c.Run(10 * time.Minute) // warm up
+	control := c.EnrollControl(15)
+	c.Run(60 * time.Minute)
+	period := time.Minute
+	bound := ExpectedDiscoveryTime(c.CVS(), 150) // in periods
+	var sum time.Duration
+	count := 0
+	for _, idx := range control {
+		dts := c.Stats(idx).DiscoveryTimes
+		if len(dts) == 0 {
+			continue
+		}
+		sum += dts[0]
+		count++
+	}
+	if count < 12 {
+		t.Fatalf("only %d of 15 control nodes discovered a monitor", count)
+	}
+	avg := sum / time.Duration(count)
+	limit := time.Duration(4*bound*float64(period)) + 2*period
+	if avg > limit {
+		t.Errorf("average discovery %v exceeds 4×E[D] = %v", avg, limit)
+	}
+}
+
+func TestClusterEventualPSSize(t *testing.T) {
+	// With K = log2(N) the expected PS size is ≈ K; after a long run,
+	// the population average must be in that ballpark.
+	c := statCluster(t, 60, 4, NodeOptions{})
+	c.Run(3 * time.Hour)
+	total := 0
+	for i := 0; i < c.Size(); i++ {
+		total += c.Stats(i).PSSize
+	}
+	avg := float64(total) / float64(c.Size())
+	k := float64(c.K())
+	if avg < k*0.5 || avg > k*1.6 {
+		t.Errorf("average |PS| = %.2f, want ≈ K = %v", avg, k)
+	}
+}
+
+func TestTheorem2DeadNodeLeavesAllCoarseViews(t *testing.T) {
+	// A node that leaves for good is eventually deleted from every
+	// coarse view (w.h.p. within cvs·log(N) periods).
+	n := 60
+	model, err := NewSYNTHBDModel(n, 0.001, 0.0001) // nearly static
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{N: n, Seed: 5}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30 * time.Minute)
+	victim := 7
+	c.Death(victim)
+	dead := c.IDOf(victim)
+	// cvs ≈ 11 for N=60 → cvs·log N ≈ 45 periods; run 120 to be safe.
+	c.Run(120 * time.Minute)
+	holders := 0
+	for i := 0; i < c.Size(); i++ {
+		if i == victim {
+			continue
+		}
+		m := c.memberAt(i)
+		if m == nil || !m.ep.Alive() {
+			continue
+		}
+		for _, id := range m.node.CV() {
+			if id == dead {
+				holders++
+			}
+		}
+	}
+	if holders != 0 {
+		t.Errorf("dead node still referenced by %d coarse views after 120 periods", holders)
+	}
+}
+
+func TestClusterConsistencyUnderChurn(t *testing.T) {
+	// The monitoring relation never changes under churn: a node's
+	// discovered monitors remain valid monitors after arbitrary
+	// join/leave activity (contrast with the DHT baseline's
+	// ConsistencyDamage).
+	model, err := NewSYNTHModel(80, 0.5) // heavy churn
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{N: 80, Seed: 6}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(45 * time.Minute)
+	before := make(map[int][]ID)
+	for i := 0; i < c.Size(); i++ {
+		before[i] = c.MonitorsOf(i)
+	}
+	c.Run(45 * time.Minute) // more churn
+	for i, prev := range before {
+		nowSet := make(map[ID]bool)
+		for _, id := range c.MonitorsOf(i) {
+			nowSet[id] = true
+		}
+		for _, id := range prev {
+			if !nowSet[id] {
+				t.Fatalf("node %d lost monitor %v due to churn (consistency violated)", i, id)
+			}
+		}
+	}
+}
+
+func TestClusterSYNTHBDSmoke(t *testing.T) {
+	model, err := NewSYNTHBDModel(100, 0.2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ClusterConfig{N: 100, Seed: 7}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Hour)
+	if c.AliveCount() < 60 || c.AliveCount() > 140 {
+		t.Errorf("alive = %d, want ≈ 100", c.AliveCount())
+	}
+	found := 0
+	for i := 0; i < c.Size(); i++ {
+		if c.Stats(i).PSSize > 0 {
+			found++
+		}
+	}
+	if found < c.Size()/2 {
+		t.Errorf("only %d of %d nodes discovered monitors under SYNTH-BD", found, c.Size())
+	}
+}
+
+func TestClusterTraceModels(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (ChurnModel, error)
+	}{
+		{"PL", func() (ChurnModel, error) { return NewPlanetLabModel(40, 2*time.Hour, 8) }},
+		{"OV", func() (ChurnModel, error) { return NewOvernetModel(40, 2*time.Hour, 9) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			model, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewCluster(ClusterConfig{Seed: 10}, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Run(90 * time.Minute)
+			if c.AliveCount() == 0 {
+				t.Fatal("no nodes alive under trace model")
+			}
+			found := 0
+			for i := 0; i < c.Size(); i++ {
+				if c.Stats(i).PSSize > 0 {
+					found++
+				}
+			}
+			if found == 0 {
+				t.Error("no monitors discovered under trace model")
+			}
+		})
+	}
+}
+
+func TestClusterMemoryBounded(t *testing.T) {
+	c := statCluster(t, 100, 11, NodeOptions{})
+	c.Run(2 * time.Hour)
+	limit := c.CVS() + 6*c.K() // generous: cvs + O(K log K) tail
+	for i := 0; i < c.Size(); i++ {
+		if got := c.Stats(i).MemoryEntries; got > limit {
+			t.Errorf("node %d memory entries = %d, exceeds %d", i, got, limit)
+		}
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() (uint64, int) {
+		c := statCluster(t, 50, 42, NodeOptions{})
+		c.Run(30 * time.Minute)
+		var checks uint64
+		psTotal := 0
+		for i := 0; i < c.Size(); i++ {
+			s := c.Stats(i)
+			checks += s.HashChecks
+			psTotal += s.PSSize
+		}
+		return checks, psTotal
+	}
+	c1, p1 := run()
+	c2, p2 := run()
+	if c1 != c2 || p1 != p2 {
+		t.Errorf("non-deterministic cluster: (%d,%d) vs (%d,%d)", c1, p1, c2, p2)
+	}
+}
+
+func TestClusterOverreporters(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 60, Seed: 12, OverreportFraction: 1.0,
+	}, NewSTATModel(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Hour)
+	// Every monitor overreports: all estimates are 1.0 even though
+	// measured truth would also be 1.0 under STAT; so instead check
+	// the flag plumbing via a node with a monitored target.
+	checked := false
+	for i := 0; i < c.Size() && !checked; i++ {
+		for _, tgt := range c.TargetsOf(i) {
+			est, known := c.EstimateBy(i, tgt)
+			if known {
+				if est != 1.0 {
+					t.Errorf("overreporter estimate = %v, want 1.0", est)
+				}
+				checked = true
+				break
+			}
+		}
+	}
+	if !checked {
+		t.Fatal("no monitored target to check")
+	}
+}
+
+func TestClusterSurvivesMessageLoss(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 80, Seed: 13, Loss: 0.2,
+	}, NewSTATModel(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Hour)
+	found := 0
+	for i := 0; i < c.Size(); i++ {
+		if c.Stats(i).PSSize > 0 {
+			found++
+		}
+	}
+	if found < 60 {
+		t.Errorf("only %d of 80 nodes discovered monitors under 20%% loss", found)
+	}
+}
+
+func TestClusterStatsAccounting(t *testing.T) {
+	c := statCluster(t, 50, 14, NodeOptions{})
+	c.Run(30 * time.Minute)
+	s := c.Stats(0)
+	if !s.Alive || s.Dead || !s.EverBorn {
+		t.Errorf("lifecycle flags = %+v", s)
+	}
+	if s.Traffic.BytesOut == 0 || s.Traffic.MsgsOut == 0 {
+		t.Error("no traffic recorded")
+	}
+	if s.HashChecks == 0 {
+		t.Error("no hash checks recorded")
+	}
+	if s.MemoryEntries != s.PSSize+s.TSSize+s.CVSize {
+		t.Error("MemoryEntries mismatch")
+	}
+	if s.UpTime <= 0 || s.LifeTime <= 0 || s.TrueAvailability() != 1 {
+		t.Errorf("uptime accounting: up=%v life=%v avail=%v", s.UpTime, s.LifeTime, s.TrueAvailability())
+	}
+	c.ResetTraffic()
+	if got := c.Stats(0).Traffic.BytesOut; got != 0 {
+		t.Errorf("traffic after reset = %d", got)
+	}
+	// Out-of-range stats are zero-valued, not a panic.
+	if s := c.Stats(9999); s.EverBorn {
+		t.Error("phantom stats for out-of-range index")
+	}
+}
+
+func TestClusterVariantCVS(t *testing.T) {
+	for _, tc := range []struct {
+		variant Variant
+		n       int
+		want    int
+	}{
+		{VariantMDC, 1_000_000, 32},
+		{VariantGeneric, 1024, 10},
+	} {
+		c, err := NewCluster(ClusterConfig{
+			N: tc.n, Seed: 1, Options: NodeOptions{Variant: tc.variant},
+		}, NewSTATModel(4)) // tiny population; N is the protocol parameter
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.CVS(); got != tc.want {
+			t.Errorf("variant %v at N=%d: cvs = %d, want %d", tc.variant, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{}, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{OverreportFraction: 2}, NewSTATModel(10)); err == nil {
+		t.Error("bad overreport fraction accepted")
+	}
+}
+
+func TestTheorem1EventualCompleteDiscovery(t *testing.T) {
+	// Theorem 1: if (x, y) satisfy the consistency condition and both
+	// stay alive long enough, y eventually lands in TS(x). In a static
+	// system every related pair must eventually be discovered.
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	const n = 50
+	c := statCluster(t, n, 77, NodeOptions{})
+	c.Run(6 * time.Hour) // E[D] ≈ N/cvs² ≪ 1 period; 360 periods is ample
+	scheme := c.Scheme()
+	missing := 0
+	total := 0
+	for xi := 0; xi < n; xi++ {
+		x := c.IDOf(xi)
+		tsSet := make(map[ID]bool)
+		for _, id := range c.TargetsOf(xi) {
+			tsSet[id] = true
+		}
+		for yi := 0; yi < n; yi++ {
+			y := c.IDOf(yi)
+			if x == y || !scheme.Related(x, y) {
+				continue
+			}
+			total++
+			if !tsSet[y] {
+				missing++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no related pairs in population")
+	}
+	if missing != 0 {
+		t.Errorf("%d of %d related pairs undiscovered after 360 periods", missing, total)
+	}
+}
+
+func TestDiscoveryFasterWithLargerCVS(t *testing.T) {
+	// The cvs tradeoff (Section 4.2): quadrupling cvs must cut the
+	// mean discovery time.
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	mean := func(cvs int) time.Duration {
+		c, err := NewCluster(ClusterConfig{
+			N: 400, Seed: 5, Options: NodeOptions{CVS: cvs},
+		}, NewSTATModel(400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(15 * time.Minute)
+		control := c.EnrollControl(40)
+		c.Run(90 * time.Minute)
+		var sum time.Duration
+		count := 0
+		for _, idx := range control {
+			if dts := c.Stats(idx).DiscoveryTimes; len(dts) > 0 {
+				sum += dts[0]
+				count++
+			}
+		}
+		if count == 0 {
+			t.Fatal("no discoveries")
+		}
+		return sum / time.Duration(count)
+	}
+	small := mean(6)
+	large := mean(24)
+	if large >= small {
+		t.Errorf("cvs=24 discovery %v not faster than cvs=6 discovery %v", large, small)
+	}
+}

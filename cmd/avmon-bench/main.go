@@ -1,0 +1,84 @@
+// Command avmon-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	avmon-bench -list
+//	avmon-bench -run figure3 -scale 1.0 -seed 1
+//	avmon-bench -run all -scale 0.1 > results.txt
+//
+// Scale 1.0 approximates the paper's methodology (hour-scale warm-up
+// and multi-hour measurement windows); smaller scales shrink the
+// simulated horizon proportionally, with floors that keep results
+// meaningful.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"avmon/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avmon-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("avmon-bench", flag.ContinueOnError)
+	var (
+		list  = fs.Bool("list", false, "list experiment IDs and exit")
+		runID = fs.String("run", "", "experiment ID to run, or 'all'")
+		scale = fs.Float64("scale", 1.0, "duration scale factor (1.0 = paper-scale)")
+		seed  = fs.Int64("seed", 1, "simulation seed")
+		ns    = fs.String("ns", "", "comma-separated N sweep override (e.g. 100,500,1000,2000)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *runID == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -run (or -list)")
+	}
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	if *ns != "" {
+		for _, part := range strings.Split(*ns, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n <= 0 {
+				return fmt.Errorf("bad -ns entry %q", part)
+			}
+			opts.Ns = append(opts.Ns, n)
+		}
+	}
+	registry := experiments.Registry()
+	var toRun []string
+	if *runID == "all" {
+		toRun = experiments.IDs()
+	} else {
+		if registry[*runID] == nil {
+			return fmt.Errorf("unknown experiment %q (use -list)", *runID)
+		}
+		toRun = []string{*runID}
+	}
+	for _, id := range toRun {
+		start := time.Now()
+		res, err := registry[id](opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

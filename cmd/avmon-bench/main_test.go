@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunRequiresID(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -run accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "figure99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadNs(t *testing.T) {
+	if err := run([]string{"-run", "figure3", "-ns", "abc"}); err == nil {
+		t.Error("bad -ns accepted")
+	}
+	if err := run([]string{"-run", "figure3", "-ns", "0"}); err == nil {
+		t.Error("non-positive -ns accepted")
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	if err := run([]string{"-run", "figure9", "-scale", "0.01", "-ns", "50"}); err != nil {
+		t.Fatalf("tiny figure9 run failed: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Command avmon-node runs one real AVMON node over UDP and
+// periodically prints its discovered monitors and targets.
+//
+// Start a first node:
+//
+//	avmon-node -addr 127.0.0.1:7000 -n 10
+//
+// Join more nodes through it:
+//
+//	avmon-node -addr 127.0.0.1:7001 -bootstrap 127.0.0.1:7000 -n 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"avmon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avmon-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("avmon-node", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "", "bind address and identity, a.b.c.d:port (required)")
+		bootstrap = fs.String("bootstrap", "", "existing node's address (empty = first node)")
+		n         = fs.Int("n", 100, "expected stable system size N")
+		period    = fs.Duration("period", 5*time.Second, "protocol period T")
+		monPeriod = fs.Duration("monitor-period", 5*time.Second, "monitoring period TA")
+		forgetful = fs.Bool("forgetful", true, "enable forgetful pinging")
+		report    = fs.Duration("report", 10*time.Second, "status print interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -addr")
+	}
+	svc, err := avmon.NewService(avmon.ServiceConfig{
+		Addr:      *addr,
+		Bootstrap: *bootstrap,
+		N:         *n,
+		Options: avmon.NodeOptions{
+			Period:        *period,
+			MonitorPeriod: *monPeriod,
+			Forgetful:     *forgetful,
+			Hash:          avmon.HashMD5,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	defer svc.Stop()
+	fmt.Printf("avmon-node %v up (N=%d, T=%v)\n", svc.ID(), *n, *period)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ps, ts, cv, checks := svc.Stats()
+			fmt.Printf("monitors=%d targets=%d coarse-view=%d checks=%d\n", ps, ts, cv, checks)
+			for _, tgt := range svc.Targets() {
+				if est, ok := svc.EstimateOf(tgt); ok {
+					fmt.Printf("  availability(%v) ≈ %.2f\n", tgt, est)
+				}
+			}
+		case <-sig:
+			fmt.Println("shutting down")
+			return nil
+		}
+	}
+}

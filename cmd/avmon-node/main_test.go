@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunRequiresAddr(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -addr accepted")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-address"}); err == nil {
+		t.Error("bad -addr accepted")
+	}
+}
+
+func TestRunBadBootstrap(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:29755", "-bootstrap", "zzz"}); err == nil {
+		t.Error("bad -bootstrap accepted")
+	}
+}

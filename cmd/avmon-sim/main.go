@@ -1,0 +1,132 @@
+// Command avmon-sim runs a single simulated AVMON deployment under a
+// chosen availability model and prints summary metrics: discovery
+// times, memory, computation, and bandwidth.
+//
+// Usage:
+//
+//	avmon-sim -model stat -n 500 -duration 2h
+//	avmon-sim -model synth-bd -n 1000 -duration 4h -forgetful
+//	avmon-sim -model ov -n 550 -duration 8h -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"avmon"
+	"avmon/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avmon-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("avmon-sim", flag.ContinueOnError)
+	var (
+		modelName = fs.String("model", "stat", "availability model: stat, synth, synth-bd, synth-bd2, pl, ov")
+		n         = fs.Int("n", 500, "stable system size N")
+		duration  = fs.Duration("duration", 2*time.Hour, "simulated duration")
+		warmup    = fs.Duration("warmup", time.Hour, "warm-up before measurement")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		cvs       = fs.Int("cvs", 0, "coarse view size override (0 = 4·N^(1/4))")
+		k         = fs.Int("k", 0, "pinging-set parameter override (0 = log2 N)")
+		forgetful = fs.Bool("forgetful", false, "enable forgetful pinging")
+		pr2       = fs.Bool("pr2", false, "enable the PR2 indegree repair")
+		control   = fs.Float64("control", 0.1, "control-group fraction enrolled after warm-up")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, err := buildModel(*modelName, *n, *warmup+*duration+time.Hour, *seed)
+	if err != nil {
+		return err
+	}
+	cluster, err := avmon.NewCluster(avmon.ClusterConfig{
+		N:    *n,
+		Seed: *seed,
+		Options: avmon.NodeOptions{
+			CVS:       *cvs,
+			K:         *k,
+			Forgetful: *forgetful,
+			PR2:       *pr2,
+		},
+	}, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model=%s N=%d K=%d cvs=%d warmup=%v duration=%v seed=%d\n",
+		*modelName, *n, cluster.K(), cluster.CVS(), *warmup, *duration, *seed)
+
+	cluster.Run(*warmup)
+	var group []int
+	if *control > 0 {
+		group = cluster.EnrollControl(int(float64(*n)**control + 0.5))
+	}
+	checksAt := make([]uint64, cluster.Size())
+	for i := range checksAt {
+		checksAt[i] = cluster.Stats(i).HashChecks
+	}
+	cluster.ResetTraffic()
+	cluster.Run(*duration)
+
+	fmt.Printf("alive=%d of %d ever-born\n", cluster.AliveCount(), cluster.Size())
+
+	if len(group) == 0 {
+		for i := 0; i < cluster.Size(); i++ {
+			group = append(group, i)
+		}
+	}
+	var disc, mem, comps, bw stats.Welford
+	discovered := 0
+	secs := duration.Seconds()
+	for _, idx := range group {
+		st := cluster.Stats(idx)
+		if len(st.DiscoveryTimes) > 0 {
+			disc.Add(st.DiscoveryTimes[0].Seconds())
+			discovered++
+		}
+	}
+	for i := 0; i < cluster.Size(); i++ {
+		st := cluster.Stats(i)
+		if !st.Alive {
+			continue
+		}
+		mem.Add(float64(st.MemoryEntries))
+		if i < len(checksAt) {
+			comps.Add(float64(st.HashChecks-checksAt[i]) / secs)
+		}
+		bw.Add(float64(st.Traffic.BytesOut) / secs)
+	}
+	fmt.Printf("discovery: %d/%d found a monitor; mean=%.1fs stddev=%.1fs (bound E[D]=%.1f periods)\n",
+		discovered, len(group), disc.Mean(), disc.Stddev(),
+		avmon.ExpectedDiscoveryTime(cluster.CVS(), *n))
+	fmt.Printf("memory:    mean=%.1f entries (expected ≈ %d)\n", mem.Mean(), 2*cluster.K()+cluster.CVS())
+	fmt.Printf("compute:   mean=%.2f consistency checks/s per node\n", comps.Mean())
+	fmt.Printf("bandwidth: mean=%.2f Bps out per node\n", bw.Mean())
+	return nil
+}
+
+func buildModel(name string, n int, horizon time.Duration, seed int64) (avmon.ChurnModel, error) {
+	switch name {
+	case "stat":
+		return avmon.NewSTATModel(n), nil
+	case "synth":
+		return avmon.NewSYNTHModel(n, 0.2)
+	case "synth-bd":
+		return avmon.NewSYNTHBDModel(n, 0.2, 0.2)
+	case "synth-bd2":
+		return avmon.NewSYNTHBDModel(n, 0.2, 0.4)
+	case "pl":
+		return avmon.NewPlanetLabModel(n, horizon, seed)
+	case "ov":
+		return avmon.NewOvernetModel(n, horizon, seed)
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}

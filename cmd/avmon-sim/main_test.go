@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildModel(t *testing.T) {
+	for _, name := range []string{"stat", "synth", "synth-bd", "synth-bd2", "pl", "ov"} {
+		m, err := buildModel(name, 50, 2*time.Hour, 1)
+		if err != nil {
+			t.Errorf("buildModel(%q): %v", name, err)
+			continue
+		}
+		if m.StableN() <= 0 {
+			t.Errorf("model %q has StableN %d", name, m.StableN())
+		}
+	}
+	if _, err := buildModel("bogus", 50, time.Hour, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunTinySimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	err := run([]string{
+		"-model", "stat", "-n", "60",
+		"-duration", "10m", "-warmup", "10m",
+	})
+	if err != nil {
+		t.Fatalf("tiny simulation failed: %v", err)
+	}
+}
+
+func TestRunBadModel(t *testing.T) {
+	if err := run([]string{"-model", "bogus"}); err == nil {
+		t.Error("bad model accepted")
+	}
+}

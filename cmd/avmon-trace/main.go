@@ -1,0 +1,88 @@
+// Command avmon-trace generates, inspects, and validates availability
+// traces in the avmon-trace-v1 format.
+//
+// Usage:
+//
+//	avmon-trace -gen pl -n 239 -duration 48h -seed 1 > pl.trace
+//	avmon-trace -gen ov -n 550 -duration 48h > ov.trace
+//	avmon-trace -inspect ov.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"avmon/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avmon-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("avmon-trace", flag.ContinueOnError)
+	var (
+		gen      = fs.String("gen", "", "generate a trace: pl or ov (writes to stdout)")
+		n        = fs.Int("n", 239, "stable system size")
+		duration = fs.Duration("duration", 48*time.Hour, "trace horizon")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		inspect  = fs.String("inspect", "", "read a trace file and print summary statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *gen != "":
+		var tr *trace.Trace
+		switch *gen {
+		case "pl":
+			tr = trace.GeneratePlanetLab(*n, *duration, *seed)
+		case "ov":
+			tr = trace.GenerateOvernet(*n, *duration, *seed)
+		default:
+			return fmt.Errorf("unknown generator %q (want pl or ov)", *gen)
+		}
+		return trace.Write(os.Stdout, tr)
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		return summarize(tr)
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -gen or -inspect")
+	}
+}
+
+func summarize(tr *trace.Trace) error {
+	deaths := 0
+	var availSum float64
+	for i := range tr.Nodes {
+		nt := &tr.Nodes[i]
+		if nt.Dead() {
+			deaths++
+		}
+		availSum += nt.Availability(tr.Duration)
+	}
+	ms, md := tr.SessionStats()
+	fmt.Printf("trace %q\n", tr.Name)
+	fmt.Printf("  horizon        %v (granularity %v)\n", tr.Duration, tr.Granularity)
+	fmt.Printf("  stable N       %d\n", tr.StableN)
+	fmt.Printf("  nodes ever     %d (deaths: %d)\n", len(tr.Nodes), deaths)
+	fmt.Printf("  mean alive     %.1f\n", tr.MeanAlive(tr.Duration/48))
+	fmt.Printf("  mean avail     %.3f\n", availSum/float64(len(tr.Nodes)))
+	fmt.Printf("  mean session   %v\n", ms.Round(time.Minute))
+	fmt.Printf("  mean downtime  %v\n", md.Round(time.Minute))
+	return nil
+}

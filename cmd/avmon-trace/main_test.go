@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"avmon/internal/trace"
+)
+
+func TestRunRequiresMode(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no mode accepted")
+	}
+}
+
+func TestRunUnknownGenerator(t *testing.T) {
+	if err := run([]string{"-gen", "bogus"}); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	if err := run([]string{"-inspect", "/nonexistent/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestInspectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	tr := trace.GenerateOvernet(30, 6*time.Hour, 2)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatalf("inspect failed: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := trace.GeneratePlanetLab(10, 2*time.Hour, 1)
+	if err := summarize(tr); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+}

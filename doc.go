@@ -1,0 +1,41 @@
+// Package avmon is a Go implementation of AVMON — the availability
+// monitoring overlay of Morales & Gupta, "AVMON: Optimal and Scalable
+// Discovery of Consistent Availability Monitoring Overlays for
+// Distributed Systems" (ICDCS 2007).
+//
+// AVMON selects, for every node x, a pinging set PS(x) of nodes that
+// monitor x's long-term availability, and discovers those monitors
+// scalably. Selection uses the consistent hash condition
+// H(y, x) ≤ K/N, which is simultaneously:
+//
+//   - consistent: the relation never changes under churn,
+//   - verifiable: any third node can recompute it, so nodes cannot
+//     advertise colluders as their monitors, and
+//   - random: monitors are uniform and pairwise uncorrelated.
+//
+// Discovery runs on a lightweight coarse overlay: each node keeps a
+// small random coarse view, periodically swaps views with one member,
+// and checks the consistency condition across the union — notifying
+// any matched pair. Three optimal coarse-view sizes (MD, DC, MDC)
+// minimize different combinations of memory/bandwidth, discovery time,
+// and computation.
+//
+// # Quick start (simulated cluster)
+//
+//	cfg := avmon.ClusterConfig{N: 100, Seed: 1}
+//	cl, err := avmon.NewCluster(cfg, avmon.NewSTATModel(100))
+//	if err != nil { ... }
+//	cl.Run(30 * time.Minute)
+//	ps := cl.MonitorsOf(0) // who monitors node 0?
+//
+// # Real deployment
+//
+// Service runs the same protocol over UDP; see NewService and
+// cmd/avmon-node.
+//
+// Subpackages under internal implement the protocol core, the
+// discrete-event simulator, churn models and trace substrates, the
+// baseline schemes the paper compares against, and one experiment
+// generator per table and figure in the paper (see DESIGN.md and
+// EXPERIMENTS.md).
+package avmon

@@ -1,0 +1,187 @@
+// Package availability implements availability-history maintenance —
+// sub-problem II of the paper (Section 1). The paper notes that any
+// history mechanism ("raw, aged, recent, etc." following Mickens &
+// Noble [9]) composes orthogonally with the AVMON overlay; this
+// package provides those three, all behind one Store interface, and
+// the monitoring layer in internal/core accepts any of them.
+package availability
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sample is the outcome of one monitoring ping.
+type Sample struct {
+	At time.Time
+	Up bool
+}
+
+// Store accumulates ping outcomes for one monitored node and produces
+// an availability estimate in [0, 1]. Implementations are not safe for
+// concurrent use; the owning monitor serializes access.
+type Store interface {
+	// Record folds in one monitoring-ping outcome.
+	Record(at time.Time, up bool)
+	// Estimate returns the current availability estimate. now lets
+	// windowed stores age out old samples.
+	Estimate(now time.Time) float64
+	// Samples returns the number of outcomes recorded (and, for
+	// windowed stores, still retained).
+	Samples() int
+}
+
+// NewStore builds a Store by style name: "raw", "recent:<duration>"
+// (e.g. "recent:30m"), or "aged:<alpha>" (e.g. "aged:0.05").
+func NewStore(style string) (Store, error) {
+	switch {
+	case style == "raw":
+		return NewRaw(), nil
+	case len(style) > 7 && style[:7] == "recent:":
+		d, err := time.ParseDuration(style[7:])
+		if err != nil {
+			return nil, fmt.Errorf("availability: bad recent window: %w", err)
+		}
+		return NewRecent(d)
+	case len(style) > 5 && style[:5] == "aged:":
+		var alpha float64
+		if _, err := fmt.Sscanf(style[5:], "%g", &alpha); err != nil {
+			return nil, fmt.Errorf("availability: bad aged alpha: %w", err)
+		}
+		return NewAged(alpha)
+	default:
+		return nil, fmt.Errorf("availability: unknown store style %q", style)
+	}
+}
+
+// Raw keeps lifetime counts: the estimate is the fraction of all
+// monitoring pings ever sent that were answered. This is exactly the
+// estimator used in the paper's forgetful-pinging experiment
+// (Section 5.4: "the fraction of monitoring pings sent to that node
+// which receive a response back").
+type Raw struct {
+	up    int
+	total int
+}
+
+var _ Store = (*Raw)(nil)
+
+// NewRaw returns an empty Raw store.
+func NewRaw() *Raw { return &Raw{} }
+
+// Record implements Store.
+func (r *Raw) Record(_ time.Time, up bool) {
+	r.total++
+	if up {
+		r.up++
+	}
+}
+
+// Estimate implements Store. With no samples it returns 0.
+func (r *Raw) Estimate(time.Time) float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.up) / float64(r.total)
+}
+
+// Samples implements Store.
+func (r *Raw) Samples() int { return r.total }
+
+// Recent keeps only samples within a sliding window and estimates
+// availability over that window.
+type Recent struct {
+	window  time.Duration
+	samples []Sample // ordered by time; pruned lazily
+	up      int
+}
+
+var _ Store = (*Recent)(nil)
+
+// NewRecent returns a windowed store with the given positive window.
+func NewRecent(window time.Duration) (*Recent, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("availability: window must be positive, got %v", window)
+	}
+	return &Recent{window: window}, nil
+}
+
+// Record implements Store. Samples must arrive in non-decreasing time
+// order (the monitoring loop guarantees this).
+func (r *Recent) Record(at time.Time, up bool) {
+	r.samples = append(r.samples, Sample{At: at, Up: up})
+	if up {
+		r.up++
+	}
+	r.prune(at)
+}
+
+func (r *Recent) prune(now time.Time) {
+	cut := now.Add(-r.window)
+	i := 0
+	for i < len(r.samples) && r.samples[i].At.Before(cut) {
+		if r.samples[i].Up {
+			r.up--
+		}
+		i++
+	}
+	if i > 0 {
+		r.samples = append(r.samples[:0], r.samples[i:]...)
+	}
+}
+
+// Estimate implements Store.
+func (r *Recent) Estimate(now time.Time) float64 {
+	r.prune(now)
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return float64(r.up) / float64(len(r.samples))
+}
+
+// Samples implements Store.
+func (r *Recent) Samples() int { return len(r.samples) }
+
+// Aged is an exponentially weighted moving average: each new sample s
+// updates the estimate e as e = (1-alpha)·e + alpha·s. Older history
+// decays geometrically, which is the "aged" style of [9].
+type Aged struct {
+	alpha float64
+	est   float64
+	n     int
+}
+
+var _ Store = (*Aged)(nil)
+
+// NewAged returns an aged store with smoothing factor alpha in (0, 1].
+func NewAged(alpha float64) (*Aged, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("availability: alpha must be in (0, 1], got %v", alpha)
+	}
+	return &Aged{alpha: alpha}, nil
+}
+
+// Record implements Store.
+func (a *Aged) Record(_ time.Time, up bool) {
+	s := 0.0
+	if up {
+		s = 1.0
+	}
+	if a.n == 0 {
+		a.est = s
+	} else {
+		a.est = (1-a.alpha)*a.est + a.alpha*s
+	}
+	a.n++
+}
+
+// Estimate implements Store.
+func (a *Aged) Estimate(time.Time) float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.est
+}
+
+// Samples implements Store.
+func (a *Aged) Samples() int { return a.n }

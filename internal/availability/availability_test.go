@@ -1,0 +1,208 @@
+package availability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRawEstimate(t *testing.T) {
+	r := NewRaw()
+	if r.Estimate(t0) != 0 || r.Samples() != 0 {
+		t.Error("empty Raw not zero")
+	}
+	outcomes := []bool{true, true, false, true}
+	for i, up := range outcomes {
+		r.Record(t0.Add(time.Duration(i)*time.Minute), up)
+	}
+	if got := r.Estimate(t0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Estimate = %v, want 0.75", got)
+	}
+	if r.Samples() != 4 {
+		t.Errorf("Samples = %d, want 4", r.Samples())
+	}
+}
+
+func TestRawEstimateInRangeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRaw()
+		for i := 0; i < int(n); i++ {
+			r.Record(t0, rng.Intn(2) == 0)
+		}
+		e := r.Estimate(t0)
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecentWindowing(t *testing.T) {
+	r, err := NewRecent(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 failures early, then 5 successes later: once the failures age
+	// out, the estimate becomes 1.
+	for i := 0; i < 5; i++ {
+		r.Record(t0.Add(time.Duration(i)*time.Minute), false)
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(t0.Add(time.Duration(20+i)*time.Minute), true)
+	}
+	if got := r.Estimate(t0.Add(25 * time.Minute)); got != 1 {
+		t.Errorf("windowed Estimate = %v, want 1 (old failures aged out)", got)
+	}
+	if r.Samples() != 5 {
+		t.Errorf("retained Samples = %d, want 5", r.Samples())
+	}
+	// All samples aged out.
+	if got := r.Estimate(t0.Add(24 * time.Hour)); got != 0 {
+		t.Errorf("fully-aged Estimate = %v, want 0", got)
+	}
+}
+
+func TestRecentMixedWithinWindow(t *testing.T) {
+	r, err := NewRecent(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(t0.Add(time.Duration(i)*time.Minute), i%2 == 0)
+	}
+	if got := r.Estimate(t0.Add(10 * time.Minute)); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Estimate = %v, want 0.5", got)
+	}
+}
+
+func TestRecentValidation(t *testing.T) {
+	if _, err := NewRecent(0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewRecent(-time.Minute); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestAgedConvergence(t *testing.T) {
+	a, err := NewAged(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate(t0) != 0 {
+		t.Error("empty Aged not zero")
+	}
+	// Long run of ups converges to 1 from a down start.
+	a.Record(t0, false)
+	for i := 0; i < 200; i++ {
+		a.Record(t0, true)
+	}
+	if got := a.Estimate(t0); got < 0.99 {
+		t.Errorf("Estimate after long up-run = %v, want > 0.99", got)
+	}
+	if a.Samples() != 201 {
+		t.Errorf("Samples = %d, want 201", a.Samples())
+	}
+}
+
+func TestAgedWeightsRecentMore(t *testing.T) {
+	// Same multiset of outcomes, different order: recent-heavy ups
+	// must score higher than early-heavy ups.
+	mk := func(outcomes []bool) float64 {
+		a, err := NewAged(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, up := range outcomes {
+			a.Record(t0, up)
+		}
+		return a.Estimate(t0)
+	}
+	seq := make([]bool, 60)
+	for i := 30; i < 60; i++ {
+		seq[i] = true // 30 downs then 30 ups
+	}
+	rev := make([]bool, 60)
+	for i := 0; i < 30; i++ {
+		rev[i] = true // 30 ups then 30 downs
+	}
+	upLate := mk(seq)
+	upEarly := mk(rev)
+	if upLate <= upEarly {
+		t.Errorf("aged store does not weight recency: late=%v early=%v", upLate, upEarly)
+	}
+}
+
+func TestAgedValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := NewAged(alpha); err == nil {
+			t.Errorf("alpha=%v accepted", alpha)
+		}
+	}
+	if _, err := NewAged(1); err != nil {
+		t.Errorf("alpha=1 rejected: %v", err)
+	}
+}
+
+func TestNewStoreFactory(t *testing.T) {
+	tests := []struct {
+		style   string
+		wantErr bool
+	}{
+		{"raw", false},
+		{"recent:30m", false},
+		{"aged:0.05", false},
+		{"recent:bogus", true},
+		{"aged:xyz", true},
+		{"aged:0", true},
+		{"nonsense", true},
+		{"", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.style, func(t *testing.T) {
+			s, err := NewStore(tt.style)
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("NewStore(%q) succeeded, want error", tt.style)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewStore(%q): %v", tt.style, err)
+			}
+			s.Record(t0, true)
+			if e := s.Estimate(t0); e != 1 {
+				t.Errorf("fresh store estimate = %v, want 1", e)
+			}
+		})
+	}
+}
+
+func TestAllStoresAgreeOnSteadyState(t *testing.T) {
+	// Under i.i.d. Bernoulli(0.7) outcomes all three estimators should
+	// land near 0.7.
+	rng := rand.New(rand.NewSource(11))
+	stores := map[string]Store{"raw": NewRaw()}
+	rec, _ := NewRecent(time.Hour)
+	stores["recent"] = rec
+	aged, _ := NewAged(0.02)
+	stores["aged"] = aged
+	now := t0
+	for i := 0; i < 5000; i++ {
+		now = now.Add(time.Second)
+		up := rng.Float64() < 0.7
+		for _, s := range stores {
+			s.Record(now, up)
+		}
+	}
+	for name, s := range stores {
+		if got := s.Estimate(now); math.Abs(got-0.7) > 0.06 {
+			t.Errorf("%s estimate = %v, want ≈ 0.7", name, got)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"avmon/internal/ids"
+)
+
+// Defaults mirroring the paper's experimental settings (Section 5).
+const (
+	// DefaultPeriod is the coarse-membership protocol period T.
+	DefaultPeriod = time.Minute
+	// DefaultMonitorPeriod is the monitoring protocol period TA.
+	DefaultMonitorPeriod = time.Minute
+	// DefaultForgetfulTau is the unresponsiveness threshold τ of the
+	// forgetful-pinging optimization.
+	DefaultForgetfulTau = 2 * time.Minute
+	// DefaultForgetfulC is the forgetful-pinging constant c.
+	DefaultForgetfulC = 1.0
+)
+
+// ErrConfig reports an invalid node configuration.
+var ErrConfig = errors.New("core: invalid config")
+
+// Config parameterizes one AVMON node.
+type Config struct {
+	// ID is this node's identity. Required.
+	ID ids.ID
+	// Scheme is the consistent, verifiable monitor-selection relation.
+	// Required.
+	Scheme SelectionScheme
+	// Transport sends protocol messages. Required.
+	Transport Transport
+	// Rand is the node's private random source. Required (inject a
+	// seeded source for deterministic simulation).
+	Rand *rand.Rand
+
+	// CVS is the maximum coarse-view size cvs. Required, ≥ 2.
+	CVS int
+	// Period is the coarse-membership protocol period T (default 1m).
+	Period time.Duration
+	// MonitorPeriod is the monitoring period TA (default 1m). It may
+	// differ from Period (Section 3.3).
+	MonitorPeriod time.Duration
+
+	// Forgetful enables the forgetful-pinging optimization.
+	Forgetful bool
+	// ForgetfulTau is the threshold τ after which a target is pinged
+	// only probabilistically (default 2m).
+	ForgetfulTau time.Duration
+	// ForgetfulC is the constant c in c·ts/(ts+t) (default 1).
+	ForgetfulC float64
+
+	// PR2 enables the indegree-repair optimization of Section 5.4.
+	PR2 bool
+
+	// HistoryStyle selects the availability store: "raw" (default),
+	// "recent:<dur>", or "aged:<alpha>" (Section 1, sub-problem II).
+	HistoryStyle string
+
+	// Overreport makes this node a misbehaving monitor that reports
+	// 100% availability for every node it monitors (the attack of
+	// Section 5.4, Figure 20).
+	Overreport bool
+
+	// Ablation knobs (evaluation only — they disable parts of the
+	// published protocol to measure their contribution):
+
+	// DisableReshuffle keeps the coarse view fixed instead of
+	// re-drawing it from CV(x) ∪ CV(w) ∪ {w} each round (ablates the
+	// randomness-maintenance step of Figure 2).
+	DisableReshuffle bool
+	// RejoinFullWeight makes rejoining nodes use weight cvs instead
+	// of min(cvs, downtime) (ablates the indegree-compensation rule
+	// of Figure 1).
+	RejoinFullWeight bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Period <= 0 {
+		out.Period = DefaultPeriod
+	}
+	if out.MonitorPeriod <= 0 {
+		out.MonitorPeriod = DefaultMonitorPeriod
+	}
+	if out.ForgetfulTau <= 0 {
+		out.ForgetfulTau = DefaultForgetfulTau
+	}
+	if out.ForgetfulC <= 0 {
+		out.ForgetfulC = DefaultForgetfulC
+	}
+	if out.HistoryStyle == "" {
+		out.HistoryStyle = "raw"
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	if c.ID.IsNone() {
+		return fmt.Errorf("%w: missing ID", ErrConfig)
+	}
+	if c.Scheme == nil {
+		return fmt.Errorf("%w: missing Scheme", ErrConfig)
+	}
+	if c.Transport == nil {
+		return fmt.Errorf("%w: missing Transport", ErrConfig)
+	}
+	if c.Rand == nil {
+		return fmt.Errorf("%w: missing Rand", ErrConfig)
+	}
+	if c.CVS < 2 {
+		return fmt.Errorf("%w: CVS must be ≥ 2, got %d", ErrConfig, c.CVS)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"avmon/internal/ids"
+)
+
+// parityScheme is a deliberately non-hash selection relation: y
+// monitors x iff their indexes are congruent mod 7 and y ≠ x. It is
+// consistent (pure function of identities) and verifiable (anyone can
+// evaluate it), so per Section 3.2 the discovery protocol must work
+// with it unchanged.
+type parityScheme struct{}
+
+func (parityScheme) Related(y, x ids.ID) bool {
+	yi, ok1 := ids.SimIndex(y)
+	xi, ok2 := ids.SimIndex(x)
+	return ok1 && ok2 && y != x && yi%7 == xi%7
+}
+
+func (parityScheme) K() int { return 8 }
+
+// TestDiscoveryWithArbitraryScheme exercises the paper's claim that
+// the coarse-view discovery protocol works with ANY consistent and
+// verifiable selection relation, not just the hash condition.
+func TestDiscoveryWithArbitraryScheme(t *testing.T) {
+	fn := newFakeNet(t)
+	nodes := populate(t, fn, 56, parityScheme{}, nil) // 8 full classes mod 7
+	fn.advance(25, DefaultPeriod)
+	discovered, wrong := 0, 0
+	for i, nd := range nodes {
+		for _, mon := range nd.PS() {
+			mi, _ := ids.SimIndex(mon)
+			if mi%7 != i%7 {
+				wrong++
+			} else {
+				discovered++
+			}
+		}
+	}
+	if wrong != 0 {
+		t.Errorf("%d cross-class (invalid) monitors discovered", wrong)
+	}
+	if discovered < 56 {
+		t.Errorf("only %d valid monitor relationships discovered across 56 nodes", discovered)
+	}
+	// Verification works for the same arbitrary scheme.
+	for i, nd := range nodes {
+		report := nd.ReportMonitors(2)
+		if len(report) == 0 {
+			continue
+		}
+		if _, err := VerifyReport(parityScheme{}, nd.ID(), report, 1); err != nil {
+			t.Fatalf("node %d report failed verification: %v", i, err)
+		}
+	}
+}
+
+// TestStaleNotifyAfterRejoin injects a NOTIFY that was "in flight"
+// while a node was down and arrives after it rejoins: it must still be
+// verified before acceptance.
+func TestStaleNotifyAfterRejoin(t *testing.T) {
+	fn := newFakeNet(t)
+	a := fn.addNode(1, noneRelated{}, nil)
+	a.Join(fn.now, ids.None)
+	a.Leave(fn.now)
+	a.Join(fn.now, ids.None)
+	a.Handle(ids.Sim(9), &Message{Type: MsgNotify, U: ids.Sim(9), V: a.ID()}, fn.now)
+	if len(a.PS()) != 0 {
+		t.Error("stale forged NOTIFY accepted after rejoin")
+	}
+}
+
+// TestStatePersistsAcrossRejoin models the paper's persistent storage:
+// PS, TS, and availability history survive a leave/rejoin cycle.
+func TestStatePersistsAcrossRejoin(t *testing.T) {
+	fn := newFakeNet(t)
+	a := fn.addNode(1, allRelated{}, nil)
+	tgt := fn.addNode(2, allRelated{}, nil)
+	a.Join(fn.now, ids.None)
+	tgt.Join(fn.now, ids.None)
+	a.Handle(tgt.ID(), &Message{Type: MsgNotify, U: a.ID(), V: tgt.ID()}, fn.now)
+	a.Handle(tgt.ID(), &Message{Type: MsgNotify, U: tgt.ID(), V: a.ID()}, fn.now)
+	fn.advance(5, DefaultMonitorPeriod)
+	before := a.MonitoringStats()
+	a.Leave(fn.now)
+	fn.advance(3, DefaultPeriod)
+	a.Join(fn.now, tgt.ID())
+	fn.flush()
+	if len(a.TS()) != 1 || len(a.PS()) != 1 {
+		t.Errorf("PS/TS lost across rejoin: %v / %v", a.PS(), a.TS())
+	}
+	fn.advance(5, DefaultMonitorPeriod)
+	after := a.MonitoringStats()
+	if after.Acks <= before.Acks {
+		t.Error("monitoring did not resume after rejoin")
+	}
+	if est, known := a.EstimateOf(tgt.ID()); !known || est < 0.5 {
+		t.Errorf("history lost: estimate = %v (known=%v)", est, known)
+	}
+}
+
+// TestCrashMidJoin kills the bootstrap node between a joiner's JOIN
+// and the corresponding fetch response: the joiner must survive and be
+// able to join through another node later.
+func TestCrashMidJoin(t *testing.T) {
+	fn := newFakeNet(t)
+	boot := fn.addNode(1, noneRelated{}, nil)
+	alt := fn.addNode(2, noneRelated{}, nil)
+	boot.Join(fn.now, ids.None)
+	alt.Join(fn.now, ids.None)
+	boot.cv.add(alt.ID())
+
+	joiner := fn.addNode(3, noneRelated{}, nil)
+	joiner.Join(fn.now, boot.ID())
+	boot.Leave(fn.now) // crashes before handling anything
+	fn.flush()         // JOIN and CV-FETCH silently dropped
+
+	// The joiner still has the (dead) bootstrap in its CV; ticking
+	// eventually cleans it and a rejoin through alt succeeds.
+	fn.advance(3, DefaultPeriod)
+	joiner.Leave(fn.now)
+	fn.now = fn.now.Add(DefaultPeriod)
+	joiner.Join(fn.now, alt.ID())
+	fn.flush()
+	if !alt.cv.contains(joiner.ID()) {
+		t.Error("second join through the alternate bootstrap failed")
+	}
+}

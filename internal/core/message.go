@@ -1,0 +1,149 @@
+// Package core implements the AVMON protocol: the joining
+// sub-protocol (paper Figure 1), the coarse-view maintenance and
+// monitor-discovery sub-protocol (Figure 2), the monitoring layer with
+// the forgetful-pinging and PR2 optimizations (Sections 3.3 and 5.4),
+// and verifiable monitor reporting ("l out of K", Section 3.3).
+//
+// A Node is transport- and clock-agnostic: it reacts to Handle,
+// Tick, and MonitorTick calls and emits messages through a Transport.
+// The same implementation runs in the discrete-event simulator and on
+// a real UDP network.
+package core
+
+import (
+	"avmon/internal/ids"
+)
+
+// MsgType enumerates AVMON wire messages.
+type MsgType uint8
+
+const (
+	// MsgJoin carries a (re-)joining node's spanning-tree JOIN
+	// (Figure 1): Subject is the joiner, Weight the remaining spread
+	// budget.
+	MsgJoin MsgType = iota + 1
+	// MsgPing is the coarse-view liveness probe of Figure 2.
+	MsgPing
+	// MsgPong answers MsgPing (echoes Seq).
+	MsgPong
+	// MsgCVFetch asks a peer for its coarse view.
+	MsgCVFetch
+	// MsgCVResp returns the peer's coarse view in View.
+	MsgCVResp
+	// MsgNotify informs nodes U and V that the pair (U, V) satisfies
+	// the consistency condition, i.e. U ∈ PS(V).
+	MsgNotify
+	// MsgMonPing is an availability monitoring ping (Section 3.3);
+	// distinct from MsgPing.
+	MsgMonPing
+	// MsgMonAck answers MsgMonPing (echoes Seq).
+	MsgMonAck
+	// MsgPR2 is the indegree-repair message of the STAT-PR2 variant
+	// (Section 5.4): the sender asks the receiver to (re-)add it to
+	// the receiver's coarse view.
+	MsgPR2
+	// MsgReportReq asks a node to report Count of its own monitors.
+	MsgReportReq
+	// MsgReportResp carries the reported monitors in View.
+	MsgReportResp
+	// MsgAvailReq asks a monitor for its availability estimate of
+	// Subject.
+	MsgAvailReq
+	// MsgAvailResp carries the estimate in Avail (Known reports
+	// whether the monitor actually tracks Subject).
+	MsgAvailResp
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgJoin:
+		return "JOIN"
+	case MsgPing:
+		return "PING"
+	case MsgPong:
+		return "PONG"
+	case MsgCVFetch:
+		return "CV-FETCH"
+	case MsgCVResp:
+		return "CV-RESP"
+	case MsgNotify:
+		return "NOTIFY"
+	case MsgMonPing:
+		return "MON-PING"
+	case MsgMonAck:
+		return "MON-ACK"
+	case MsgPR2:
+		return "PR2"
+	case MsgReportReq:
+		return "REPORT-REQ"
+	case MsgReportResp:
+		return "REPORT-RESP"
+	case MsgAvailReq:
+		return "AVAIL-REQ"
+	case MsgAvailResp:
+		return "AVAIL-RESP"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Message is the single wire envelope for all AVMON traffic. Fields
+// are populated per type; unused fields are zero.
+type Message struct {
+	Type    MsgType
+	From    ids.ID   // sender (set by the sending node)
+	Subject ids.ID   // JOIN joiner / AVAIL-REQ target
+	Weight  int      // JOIN spread budget
+	U, V    ids.ID   // NOTIFY pair: U ∈ PS(V)
+	View    []ids.ID // CV-RESP and REPORT-RESP payloads
+	Seq     uint64   // request/response matching
+	Count   int      // REPORT-REQ: number of monitors requested
+	Avail   float64  // AVAIL-RESP estimate
+	Known   bool     // AVAIL-RESP: whether the responder monitors Subject
+}
+
+// Byte-size model used for bandwidth accounting. The paper charges
+// 8 bytes per coarse-view entry and per monitoring ping (Section 5.1).
+const (
+	headerBytes = 8 // type + seq + sender, the paper's per-message floor
+	entryBytes  = 8 // per ids.ID carried in a payload
+)
+
+// WireSize returns the number of bytes this message occupies on the
+// wire under the paper's accounting model.
+func (m *Message) WireSize() int {
+	switch m.Type {
+	case MsgJoin:
+		return headerBytes + entryBytes + 2 // subject + 2-byte weight
+	case MsgNotify:
+		return headerBytes + 2*entryBytes
+	case MsgCVResp, MsgReportResp:
+		return headerBytes + entryBytes*len(m.View)
+	case MsgAvailReq:
+		return headerBytes + entryBytes
+	case MsgAvailResp:
+		return headerBytes + entryBytes + 8 // subject + float64 estimate
+	default:
+		// PING, PONG, CV-FETCH, MON-PING, MON-ACK, PR2, REPORT-REQ.
+		return headerBytes
+	}
+}
+
+// Transport delivers messages to peers. Implementations must not
+// block; delivery is best-effort (the system model only guarantees
+// delivery between currently-alive nodes).
+type Transport interface {
+	Send(to ids.ID, m *Message)
+}
+
+// SelectionScheme is the pluggable, consistent, verifiable monitor
+// selection relation of Section 3.2. Related(y, x) reports y ∈ PS(x).
+// K is the expected pinging-set size, used only for sizing decisions.
+//
+// AVMON's discovery protocol works with any implementation; the
+// paper's hash-based scheme is hashing.Selector.
+type SelectionScheme interface {
+	Related(y, x ids.ID) bool
+	K() int
+}

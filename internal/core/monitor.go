@@ -1,0 +1,165 @@
+package core
+
+import (
+	"time"
+
+	"avmon/internal/availability"
+	"avmon/internal/ids"
+)
+
+// target tracks one monitored node u ∈ TS(x): its availability
+// history, outstanding probe, and the session bookkeeping that drives
+// forgetful pinging (Section 3.3).
+type target struct {
+	id    ids.ID
+	store availability.Store
+
+	discovered time.Time
+
+	awaitingSeq uint64 // outstanding MON-PING sequence (0 = none)
+	awaitingAt  time.Time
+
+	everAcked    bool
+	lastAck      time.Time
+	sessionStart time.Time     // start of the currently observed session
+	lastSession  time.Duration // most recent completed observed session ts(u)
+	down         bool
+	downSince    time.Time
+
+	pingsSent  uint64
+	acks       uint64
+	pingsSaved uint64 // pings skipped by the forgetful optimization
+}
+
+func newTarget(id ids.ID, historyStyle string, now time.Time) *target {
+	store, err := availability.NewStore(historyStyle)
+	if err != nil {
+		// Config validation accepts any non-empty style string;
+		// fall back to the paper's estimator rather than dropping
+		// the monitoring duty.
+		store = availability.NewRaw()
+	}
+	return &target{id: id, store: store, discovered: now}
+}
+
+// MonitorTick runs one monitoring period TA: it resolves last round's
+// outstanding probes as losses, then sends this round's monitoring
+// pings, applying forgetful pinging when enabled. The owner invokes it
+// once every MonitorPeriod while the node is alive.
+func (n *Node) MonitorTick(now time.Time) {
+	if !n.alive {
+		return
+	}
+	for _, id := range n.tsOrder {
+		t := n.ts[id]
+		// 1. An unanswered probe from a previous round is a "down"
+		// observation.
+		if t.awaitingSeq != 0 {
+			t.awaitingSeq = 0
+			t.store.Record(now, false)
+			if !t.down {
+				t.down = true
+				t.downSince = t.awaitingAt
+				if t.everAcked {
+					t.lastSession = t.lastAck.Sub(t.sessionStart)
+				}
+			}
+		}
+		// 2. Decide whether to probe this round.
+		if n.cfg.Forgetful && t.down {
+			downFor := now.Sub(t.downSince)
+			if downFor > n.cfg.ForgetfulTau {
+				ts := t.lastSession
+				if ts <= 0 {
+					// Never observed a full session: use one
+					// monitoring period as the session floor.
+					ts = n.cfg.MonitorPeriod
+				}
+				p := n.cfg.ForgetfulC * float64(ts) / float64(ts+downFor)
+				if p > 1 {
+					p = 1
+				}
+				if n.cfg.Rand.Float64() >= p {
+					t.pingsSaved++
+					continue
+				}
+			}
+		}
+		// 3. Probe.
+		t.awaitingSeq = n.nextSeq()
+		t.awaitingAt = now
+		t.pingsSent++
+		n.send(t.id, &Message{Type: MsgMonPing, Seq: t.awaitingSeq})
+	}
+}
+
+// handleMonAck folds a monitoring acknowledgment into the target's
+// history.
+func (n *Node) handleMonAck(from ids.ID, seq uint64, now time.Time) {
+	t, ok := n.ts[from]
+	if !ok || seq != t.awaitingSeq {
+		return
+	}
+	t.awaitingSeq = 0
+	t.acks++
+	t.store.Record(now, true)
+	if t.down || !t.everAcked {
+		t.sessionStart = now
+		t.down = false
+	}
+	t.everAcked = true
+	t.lastAck = now
+}
+
+// EstimateOf returns this node's availability estimate for a node it
+// monitors, and whether it monitors it at all. An overreporting
+// monitor (Section 5.4) returns 100% for every target.
+func (n *Node) EstimateOf(u ids.ID) (float64, bool) {
+	t, ok := n.ts[u]
+	if !ok {
+		return 0, false
+	}
+	if n.cfg.Overreport {
+		return 1.0, true
+	}
+	if t.store.Samples() == 0 {
+		return 0, false
+	}
+	return t.store.Estimate(n.lastTickTime()), true
+}
+
+// lastTickTime approximates "now" for estimate queries; windowed
+// stores age relative to the most recent observation, for which the
+// last ack or probe time is the best proxy the node has.
+func (n *Node) lastTickTime() time.Time {
+	var latest time.Time
+	for _, t := range n.ts {
+		if t.awaitingAt.After(latest) {
+			latest = t.awaitingAt
+		}
+		if t.lastAck.After(latest) {
+			latest = t.lastAck
+		}
+	}
+	return latest
+}
+
+// MonitoringStats summarizes the node's monitoring activity.
+type MonitoringStats struct {
+	Targets    int
+	PingsSent  uint64
+	Acks       uint64
+	PingsSaved uint64
+}
+
+// MonitoringStats returns a snapshot of monitoring activity counters.
+func (n *Node) MonitoringStats() MonitoringStats {
+	var s MonitoringStats
+	s.Targets = len(n.ts)
+	for _, t := range n.ts {
+		s.PingsSent += t.pingsSent
+		s.Acks += t.acks
+		s.PingsSaved += t.pingsSaved
+	}
+	return s
+}

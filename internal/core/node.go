@@ -1,0 +1,371 @@
+package core
+
+import (
+	"time"
+
+	"avmon/internal/ids"
+)
+
+// Node is one AVMON participant. It is single-threaded by contract:
+// the owner must serialize all calls (the simulator does this by
+// construction; the real-network runner uses one event loop).
+type Node struct {
+	cfg Config
+	id  ids.ID
+
+	alive     bool
+	everBorn  bool
+	bornAt    time.Time
+	joinedAt  time.Time
+	lastLeave time.Time
+
+	cv      *view
+	ps      map[ids.ID]time.Time // monitor → discovery time
+	ts      map[ids.ID]*target   // monitored node → state
+	tsOrder []ids.ID             // discovery order, for deterministic iteration
+
+	// Discovery bookkeeping for the figures: times (since birth) at
+	// which each successive PS member was discovered.
+	psDiscoveries []time.Duration
+
+	// Outstanding coarse-view liveness probe (Figure 2, first lines).
+	cvPingTarget ids.ID
+	cvPingSeq    uint64
+
+	seq uint64 // message sequence numbers
+
+	lastMonPingRecv time.Time // for PR2
+
+	hashChecks uint64 // consistency-condition evaluations performed
+
+	// onResponse, when set via SetResponseHandler, receives
+	// REPORT-RESP and AVAIL-RESP messages for application queries.
+	onResponse func(from ids.ID, m *Message)
+}
+
+// NewNode validates cfg, applies defaults, and returns a node in the
+// "never joined" state. Call Join to enter the system.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg: cfg,
+		id:  cfg.ID,
+		cv:  newView(cfg.CVS),
+		ps:  make(map[ids.ID]time.Time),
+		ts:  make(map[ids.ID]*target),
+	}, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Alive reports whether the node is currently in the system.
+func (n *Node) Alive() bool { return n.alive }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+func (n *Node) nextSeq() uint64 {
+	n.seq++
+	return n.seq
+}
+
+func (n *Node) send(to ids.ID, m *Message) {
+	m.From = n.id
+	n.cfg.Transport.Send(to, m)
+}
+
+// --- Lifecycle -------------------------------------------------------
+
+// Join (re-)enters the system at time now, bootstrapping through the
+// given node (Figure 1). bootstrap may be None when this node is the
+// very first in the system.
+func (n *Node) Join(now time.Time, bootstrap ids.ID) {
+	first := !n.everBorn
+	if first {
+		n.everBorn = true
+		n.bornAt = now
+	}
+	n.alive = true
+	n.joinedAt = now
+	n.lastMonPingRecv = now
+	n.cvPingTarget = ids.None
+	// "Inherit view from this random node": discard the stale view and
+	// fetch the bootstrap's.
+	n.cv.clear()
+	if bootstrap.IsNone() || bootstrap == n.id {
+		return
+	}
+	weight := n.cfg.CVS
+	if !first && !n.cfg.RejoinFullWeight {
+		down := int(now.Sub(n.lastLeave) / n.cfg.Period)
+		if down < weight {
+			weight = down
+		}
+		if weight < 1 {
+			weight = 1
+		}
+	}
+	n.send(bootstrap, &Message{Type: MsgJoin, Subject: n.id, Weight: weight})
+	n.send(bootstrap, &Message{Type: MsgCVFetch, Seq: n.nextSeq()})
+	n.cv.add(bootstrap)
+}
+
+// Leave removes the node from the system at time now (voluntary leave
+// and crash failure are indistinguishable, Section 3). State persists
+// for a later rejoin, modeling the paper's persistent storage.
+func (n *Node) Leave(now time.Time) {
+	n.alive = false
+	n.lastLeave = now
+	n.cvPingTarget = ids.None
+	// Outstanding monitoring probes die with us.
+	for _, t := range n.ts {
+		t.awaitingSeq = 0
+	}
+}
+
+// --- Handle: message dispatch ---------------------------------------
+
+// Handle processes one received message at virtual time now. Messages
+// arriving while the node is down are dropped (the transport layer
+// normally guarantees this; the check makes Handle safe regardless).
+func (n *Node) Handle(from ids.ID, m *Message, now time.Time) {
+	if !n.alive && from != n.id {
+		return
+	}
+	switch m.Type {
+	case MsgJoin:
+		n.handleJoin(m)
+	case MsgPing:
+		n.send(from, &Message{Type: MsgPong, Seq: m.Seq})
+	case MsgPong:
+		if from == n.cvPingTarget && m.Seq == n.cvPingSeq {
+			n.cvPingTarget = ids.None // liveness confirmed
+		}
+	case MsgCVFetch:
+		n.send(from, &Message{Type: MsgCVResp, Seq: m.Seq, View: n.cv.snapshot()})
+	case MsgCVResp:
+		n.handleCVResp(from, m.View, now)
+	case MsgNotify:
+		n.handleNotify(m.U, m.V, now)
+	case MsgMonPing:
+		n.lastMonPingRecv = now
+		n.send(from, &Message{Type: MsgMonAck, Seq: m.Seq})
+	case MsgMonAck:
+		n.handleMonAck(from, m.Seq, now)
+	case MsgPR2:
+		n.cv.addEvict(from, n.cfg.Rand)
+	case MsgReportReq:
+		n.send(from, &Message{Type: MsgReportResp, Seq: m.Seq, View: n.ReportMonitors(m.Count)})
+	case MsgAvailReq:
+		est, known := n.EstimateOf(m.Subject)
+		n.send(from, &Message{
+			Type: MsgAvailResp, Seq: m.Seq, Subject: m.Subject, Avail: est, Known: known,
+		})
+	case MsgReportResp, MsgAvailResp:
+		// Responses to application-level queries; surfaced through
+		// the Client helper, not consumed by the protocol node.
+		if n.onResponse != nil {
+			n.onResponse(from, m)
+		}
+	}
+}
+
+// SetResponseHandler registers a callback for REPORT-RESP and
+// AVAIL-RESP messages, which answer application-level queries rather
+// than protocol traffic (see VerifyReport for the verification step).
+func (n *Node) SetResponseHandler(fn func(from ids.ID, m *Message)) {
+	n.onResponse = fn
+}
+
+// --- Join sub-protocol (Figure 1, receiver side) ---------------------
+
+func (n *Node) handleJoin(m *Message) {
+	c := m.Weight
+	if c <= 0 || m.Subject == n.id {
+		return
+	}
+	if !n.cv.contains(m.Subject) {
+		if n.cv.size() >= n.cfg.CVS {
+			// Make room: the joining node's entry replaces a random
+			// one, keeping the expected indegree at cvs.
+			n.cv.addEvict(m.Subject, n.cfg.Rand)
+		} else {
+			n.cv.add(m.Subject)
+		}
+		c--
+		left := c / 2
+		right := c - left
+		for _, w := range []int{left, right} {
+			if w <= 0 {
+				continue
+			}
+			// Forward to a random coarse-view member other than the
+			// joiner itself, so the spread budget is not wasted on a
+			// self-delivery.
+			dst := n.cv.randomExcluding(n.cfg.Rand, m.Subject)
+			if dst.IsNone() {
+				continue
+			}
+			n.send(dst, &Message{Type: MsgJoin, Subject: m.Subject, Weight: w})
+		}
+	}
+}
+
+// --- Coarse-view maintenance and discovery (Figure 2) ----------------
+
+// Tick runs one protocol period of the coarse-membership and
+// monitor-discovery sub-protocol. The owner invokes it once every
+// Period while the node is alive.
+func (n *Node) Tick(now time.Time) {
+	if !n.alive {
+		return
+	}
+	// 1. Resolve last round's liveness probe: an unresponsive node is
+	// removed from the coarse view.
+	if !n.cvPingTarget.IsNone() {
+		n.cv.remove(n.cvPingTarget)
+		n.cvPingTarget = ids.None
+	}
+	// 2. Probe one random coarse-view member.
+	if z := n.cv.random(n.cfg.Rand); !z.IsNone() {
+		n.cvPingTarget = z
+		n.cvPingSeq = n.nextSeq()
+		n.send(z, &Message{Type: MsgPing, Seq: n.cvPingSeq})
+	}
+	// 3. Fetch the coarse view of one random member; discovery and
+	// reshuffle happen when the response arrives.
+	if w := n.cv.random(n.cfg.Rand); !w.IsNone() {
+		n.send(w, &Message{Type: MsgCVFetch, Seq: n.nextSeq()})
+	}
+	// 4. PR2: if nobody has monitoring-pinged us for two protocol
+	// periods, force ourselves back into our members' coarse views.
+	if n.cfg.PR2 && now.Sub(n.lastMonPingRecv) >= 2*n.cfg.Period {
+		for _, member := range n.cv.snapshot() {
+			n.send(member, &Message{Type: MsgPR2})
+		}
+		n.lastMonPingRecv = now // back off until the next 2 periods
+	}
+}
+
+// handleCVResp performs the consistency-condition sweep over
+// ({CV(x) ∪ {x,w}} × {CV(w) ∪ {x,w}}) in both orders, notifies
+// matched pairs, and reshuffles the coarse view (Figure 2).
+func (n *Node) handleCVResp(w ids.ID, fetched []ids.ID, now time.Time) {
+	a := append(n.cv.snapshot(), n.id, w)
+	b := make([]ids.ID, 0, len(fetched)+2)
+	b = append(b, fetched...)
+	b = append(b, n.id, w)
+
+	seen := make(map[[2]ids.ID]struct{}, 4)
+	check := func(u, v ids.ID) {
+		if u == v || u.IsNone() || v.IsNone() {
+			return
+		}
+		key := [2]ids.ID{u, v}
+		if _, dup := seen[key]; dup {
+			return // a∩b overlap would double-check the same pair
+		}
+		seen[key] = struct{}{}
+		n.hashChecks++
+		if !n.cfg.Scheme.Related(u, v) {
+			return
+		}
+		// u ∈ PS(v): tell u (it gains a target) and v (a monitor).
+		// When the discoverer is one of the pair, the paper's "inform
+		// both" is a local operation.
+		for _, dst := range [2]ids.ID{u, v} {
+			if dst == n.id {
+				n.handleNotify(u, v, now)
+			} else {
+				n.send(dst, &Message{Type: MsgNotify, U: u, V: v})
+			}
+		}
+	}
+	for _, u := range a {
+		for _, v := range b {
+			check(u, v)
+			check(v, u)
+		}
+	}
+	if n.cfg.DisableReshuffle {
+		n.cv.add(w) // only grow into free space; never re-randomize
+		return
+	}
+	n.cv.reshuffle(fetched, w, n.id, n.cfg.Rand)
+}
+
+// handleNotify verifies and applies a NOTIFY(u, v) at this node
+// (Section 3.3): the consistency condition is re-checked, so forged
+// notifications are harmless.
+func (n *Node) handleNotify(u, v ids.ID, now time.Time) {
+	switch n.id {
+	case v:
+		if _, known := n.ps[u]; known {
+			return
+		}
+		n.hashChecks++
+		if !n.cfg.Scheme.Related(u, v) {
+			return
+		}
+		n.ps[u] = now
+		since := now.Sub(n.bornAt)
+		n.psDiscoveries = append(n.psDiscoveries, since)
+	case u:
+		if _, known := n.ts[v]; known {
+			return
+		}
+		n.hashChecks++
+		if !n.cfg.Scheme.Related(u, v) {
+			return
+		}
+		n.ts[v] = newTarget(v, n.cfg.HistoryStyle, now)
+		n.tsOrder = append(n.tsOrder, v)
+	}
+}
+
+// --- Introspection ---------------------------------------------------
+
+// PS returns the node's current pinging set (its monitors).
+func (n *Node) PS() []ids.ID {
+	out := make([]ids.ID, 0, len(n.ps))
+	for id := range n.ps {
+		out = append(out, id)
+	}
+	ids.Sort(out)
+	return out
+}
+
+// TS returns the node's current target set (the nodes it monitors).
+func (n *Node) TS() []ids.ID {
+	out := make([]ids.ID, 0, len(n.ts))
+	for id := range n.ts {
+		out = append(out, id)
+	}
+	ids.Sort(out)
+	return out
+}
+
+// CV returns the node's current coarse view.
+func (n *Node) CV() []ids.ID { return n.cv.snapshot() }
+
+// MemoryEntries is the paper's memory metric |CV|+|PS|+|TS|.
+func (n *Node) MemoryEntries() int { return n.cv.size() + len(n.ps) + len(n.ts) }
+
+// HashChecks returns how many consistency-condition evaluations the
+// node has performed (the computation metric C).
+func (n *Node) HashChecks() uint64 { return n.hashChecks }
+
+// DiscoveryTimes returns, for each PS member in discovery order, the
+// elapsed time from the node's birth to that discovery.
+func (n *Node) DiscoveryTimes() []time.Duration {
+	out := make([]time.Duration, len(n.psDiscoveries))
+	copy(out, n.psDiscoveries)
+	return out
+}
+
+// BornAt returns the node's birth time (zero if never joined).
+func (n *Node) BornAt() time.Time { return n.bornAt }

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avmon/internal/ids"
+)
+
+// TestJoinWeightSplitProperty checks the Figure 1 weight arithmetic:
+// after decrementing, the two forwarded halves ⌊c/2⌋ and ⌈c/2⌉ always
+// sum to c, so the total spread budget is conserved.
+func TestJoinWeightSplitProperty(t *testing.T) {
+	f := func(w uint8) bool {
+		c := int(w)
+		if c <= 0 {
+			return true
+		}
+		c--
+		left := c / 2
+		right := c - left
+		return left+right == c && left >= 0 && right >= 0 && right-left <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestViewRandomExcludingProperty: randomExcluding never returns the
+// excluded member, never invents members, and is None only when the
+// view has no other member.
+func TestViewRandomExcludingProperty(t *testing.T) {
+	fn := newFakeNet(t)
+	nd := fn.addNode(0, noneRelated{}, nil)
+	f := func(size, exclIdx uint8, draws uint8) bool {
+		v := newView(16)
+		n := int(size % 17)
+		for i := 0; i < n; i++ {
+			v.add(ids.Sim(i + 1))
+		}
+		var excl ids.ID
+		if n > 0 && int(exclIdx)%2 == 0 {
+			excl = ids.Sim(int(exclIdx)%n + 1) // a member
+		} else {
+			excl = ids.Sim(999) // not a member
+		}
+		for d := 0; d < int(draws%8)+1; d++ {
+			got := v.randomExcluding(nd.cfg.Rand, excl)
+			if got == excl {
+				return false
+			}
+			if got.IsNone() {
+				// Legal only if the view is empty or contains only excl.
+				if n > 1 || (n == 1 && !v.contains(excl)) {
+					return false
+				}
+				continue
+			}
+			if !v.contains(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNotifyIdempotenceProperty: delivering the same valid NOTIFY any
+// number of times yields exactly one PS entry and one discovery record.
+func TestNotifyIdempotenceProperty(t *testing.T) {
+	f := func(repeats uint8, peerIdx uint16) bool {
+		fn := newFakeNet(t)
+		a := fn.addNode(1, allRelated{}, nil)
+		a.Join(fn.now, ids.None)
+		peer := ids.Sim(int(peerIdx) + 2)
+		for r := 0; r < int(repeats%16)+1; r++ {
+			a.Handle(peer, &Message{Type: MsgNotify, U: peer, V: a.ID()}, fn.now)
+		}
+		return len(a.PS()) == 1 && len(a.DiscoveryTimes()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoryAccountingProperty: MemoryEntries always equals
+// |CV| + |PS| + |TS| no matter what mix of events the node has seen.
+func TestMemoryAccountingProperty(t *testing.T) {
+	f := func(events []uint16) bool {
+		fn := newFakeNet(t)
+		a := fn.addNode(1, allRelated{}, nil)
+		a.Join(fn.now, ids.None)
+		for _, e := range events {
+			peer := ids.Sim(int(e%64) + 2)
+			switch e % 3 {
+			case 0:
+				a.cv.add(peer)
+			case 1:
+				a.Handle(peer, &Message{Type: MsgNotify, U: peer, V: a.ID()}, fn.now)
+			case 2:
+				a.Handle(peer, &Message{Type: MsgNotify, U: a.ID(), V: peer}, fn.now)
+			}
+		}
+		return a.MemoryEntries() == len(a.CV())+len(a.PS())+len(a.TS())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

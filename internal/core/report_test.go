@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"avmon/internal/ids"
+)
+
+func TestReportMonitors(t *testing.T) {
+	fn := newFakeNet(t)
+	a := fn.addNode(1, allRelated{}, nil)
+	a.Join(fn.now, ids.None)
+	for i := 0; i < 6; i++ {
+		peer := ids.Sim(10 + i)
+		a.Handle(peer, &Message{Type: MsgNotify, U: peer, V: a.ID()}, fn.now)
+	}
+	if got := a.ReportMonitors(0); len(got) != 6 {
+		t.Errorf("ReportMonitors(0) returned %d, want all 6", len(got))
+	}
+	if got := a.ReportMonitors(100); len(got) != 6 {
+		t.Errorf("ReportMonitors(100) returned %d, want 6", len(got))
+	}
+	got := a.ReportMonitors(3)
+	if len(got) != 3 {
+		t.Fatalf("ReportMonitors(3) returned %d", len(got))
+	}
+	ps := make(map[ids.ID]bool)
+	for _, id := range a.PS() {
+		ps[id] = true
+	}
+	for _, id := range got {
+		if !ps[id] {
+			t.Errorf("reported non-monitor %v", id)
+		}
+	}
+}
+
+func TestVerifyReportAcceptsHonest(t *testing.T) {
+	scheme := testScheme(t, 50, 200)
+	subject := ids.Sim(999)
+	var honest []ids.ID
+	for i := 0; i < 200 && len(honest) < 5; i++ {
+		if scheme.Related(ids.Sim(i), subject) {
+			honest = append(honest, ids.Sim(i))
+		}
+	}
+	if len(honest) < 3 {
+		t.Fatal("test setup: not enough related nodes")
+	}
+	verified, err := VerifyReport(scheme, subject, honest, len(honest))
+	if err != nil {
+		t.Fatalf("honest report rejected: %v", err)
+	}
+	if len(verified) != len(honest) {
+		t.Errorf("verified %d of %d", len(verified), len(honest))
+	}
+}
+
+func TestVerifyReportRejectsColluders(t *testing.T) {
+	scheme := testScheme(t, 5, 500)
+	subject := ids.Sim(999)
+	// Find one honest monitor and one definite non-monitor (colluder).
+	var honest, colluder ids.ID
+	for i := 0; i < 500; i++ {
+		if scheme.Related(ids.Sim(i), subject) {
+			if honest.IsNone() {
+				honest = ids.Sim(i)
+			}
+		} else if colluder.IsNone() {
+			colluder = ids.Sim(i)
+		}
+	}
+	if honest.IsNone() || colluder.IsNone() {
+		t.Fatal("test setup failed")
+	}
+	verified, err := VerifyReport(scheme, subject, []ids.ID{honest, colluder}, 1)
+	var re *ReportError
+	if !errors.As(err, &re) {
+		t.Fatalf("colluder-containing report accepted (err=%v)", err)
+	}
+	if len(re.Bogus) != 1 || re.Bogus[0] != colluder {
+		t.Errorf("Bogus = %v, want [%v]", re.Bogus, colluder)
+	}
+	if len(verified) != 1 || verified[0] != honest {
+		t.Errorf("verified = %v, want the honest monitor only", verified)
+	}
+	if re.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestVerifyReportRejectsSelfAndNone(t *testing.T) {
+	subject := ids.Sim(1)
+	_, err := VerifyReport(allRelated{}, subject, []ids.ID{subject}, 0)
+	if err == nil {
+		t.Error("self-report accepted")
+	}
+	_, err = VerifyReport(allRelated{}, subject, []ids.ID{ids.None}, 0)
+	if err == nil {
+		t.Error("None monitor accepted")
+	}
+}
+
+func TestVerifyReportShort(t *testing.T) {
+	scheme := noneRelated{}
+	_, err := VerifyReport(scheme, ids.Sim(1), nil, 2)
+	var re *ReportError
+	if !errors.As(err, &re) {
+		t.Fatalf("short report accepted (err=%v)", err)
+	}
+	if !re.Short || re.Required != 2 || re.Verified != 0 {
+		t.Errorf("ReportError = %+v", re)
+	}
+	if re.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestReportRequestRoundTrip(t *testing.T) {
+	fn := newFakeNet(t)
+	subject := fn.addNode(1, allRelated{}, nil)
+	asker := fn.addNode(2, allRelated{}, nil)
+	subject.Join(fn.now, ids.None)
+	asker.Join(fn.now, ids.None)
+	// Give the subject three monitors.
+	for i := 0; i < 3; i++ {
+		peer := ids.Sim(10 + i)
+		subject.Handle(peer, &Message{Type: MsgNotify, U: peer, V: subject.ID()}, fn.now)
+	}
+	var gotReport []ids.ID
+	asker.SetResponseHandler(func(from ids.ID, m *Message) {
+		if m.Type == MsgReportResp && from == subject.ID() {
+			gotReport = m.View
+		}
+	})
+	asker.QueryReport(subject.ID(), 2)
+	fn.flush()
+	if len(gotReport) != 2 {
+		t.Fatalf("received report of %d monitors, want 2", len(gotReport))
+	}
+	if _, err := VerifyReport(allRelated{}, subject.ID(), gotReport, 2); err != nil {
+		t.Errorf("round-trip report failed verification: %v", err)
+	}
+}
+
+func TestAvailabilityQueryRoundTrip(t *testing.T) {
+	fn := newFakeNet(t)
+	mon := fn.addNode(1, allRelated{}, nil)
+	tgt := fn.addNode(2, allRelated{}, nil)
+	asker := fn.addNode(3, allRelated{}, nil)
+	for _, n := range []*Node{mon, tgt, asker} {
+		n.Join(fn.now, ids.None)
+	}
+	mon.Handle(tgt.ID(), &Message{Type: MsgNotify, U: mon.ID(), V: tgt.ID()}, fn.now)
+	fn.advance(4, DefaultMonitorPeriod)
+	var resp *Message
+	asker.SetResponseHandler(func(from ids.ID, m *Message) {
+		if m.Type == MsgAvailResp {
+			resp = m
+		}
+	})
+	asker.QueryAvailability(mon.ID(), tgt.ID())
+	fn.flush()
+	if resp == nil {
+		t.Fatal("no AVAIL-RESP received")
+	}
+	if !resp.Known || resp.Avail != 1 || resp.Subject != tgt.ID() {
+		t.Errorf("resp = %+v, want known estimate 1.0 for target", resp)
+	}
+	// Query about an unmonitored node.
+	resp = nil
+	asker.QueryAvailability(mon.ID(), ids.Sim(77))
+	fn.flush()
+	if resp == nil || resp.Known {
+		t.Errorf("unmonitored query resp = %+v, want Known=false", resp)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+
+	"avmon/internal/ids"
+)
+
+// view is the coarse view CV(x): a bounded random subset of other
+// nodes, with O(1) add, remove, contains, and uniform random pick.
+type view struct {
+	max   int
+	items []ids.ID
+	index map[ids.ID]int
+}
+
+func newView(max int) *view {
+	return &view{max: max, index: make(map[ids.ID]int, max)}
+}
+
+func (v *view) size() int { return len(v.items) }
+
+func (v *view) contains(id ids.ID) bool {
+	_, ok := v.index[id]
+	return ok
+}
+
+// add inserts id if absent and below capacity; it reports whether the
+// view changed.
+func (v *view) add(id ids.ID) bool {
+	if id.IsNone() || v.contains(id) || len(v.items) >= v.max {
+		return false
+	}
+	v.index[id] = len(v.items)
+	v.items = append(v.items, id)
+	return true
+}
+
+// addEvict inserts id, evicting a uniformly random entry if the view
+// is full (used by PR2). It reports whether id is now present.
+func (v *view) addEvict(id ids.ID, rng *rand.Rand) bool {
+	if id.IsNone() || v.contains(id) {
+		return false
+	}
+	if len(v.items) >= v.max && len(v.items) > 0 {
+		v.removeAt(rng.Intn(len(v.items)))
+	}
+	return v.add(id)
+}
+
+func (v *view) remove(id ids.ID) bool {
+	i, ok := v.index[id]
+	if !ok {
+		return false
+	}
+	v.removeAt(i)
+	return true
+}
+
+func (v *view) removeAt(i int) {
+	last := len(v.items) - 1
+	moved := v.items[last]
+	delete(v.index, v.items[i])
+	if i != last {
+		v.items[i] = moved
+		v.index[moved] = i
+	}
+	v.items = v.items[:last]
+}
+
+// random returns a uniformly random member, or None if empty.
+func (v *view) random(rng *rand.Rand) ids.ID {
+	if len(v.items) == 0 {
+		return ids.None
+	}
+	return v.items[rng.Intn(len(v.items))]
+}
+
+// randomExcluding returns a uniformly random member other than
+// exclude, or None if no such member exists.
+func (v *view) randomExcluding(rng *rand.Rand, exclude ids.ID) ids.ID {
+	n := len(v.items)
+	if n == 0 {
+		return ids.None
+	}
+	if i, ok := v.index[exclude]; ok {
+		if n == 1 {
+			return ids.None
+		}
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		return v.items[j]
+	}
+	return v.items[rng.Intn(n)]
+}
+
+// snapshot returns a copy of the membership.
+func (v *view) snapshot() []ids.ID {
+	out := make([]ids.ID, len(v.items))
+	copy(out, v.items)
+	return out
+}
+
+func (v *view) clear() {
+	v.items = v.items[:0]
+	for k := range v.index {
+		delete(v.index, k)
+	}
+}
+
+// reshuffle replaces the view with up to max random entries drawn from
+// the union of the current view, the fetched view, and {w}, excluding
+// self (Figure 2, last two lines).
+func (v *view) reshuffle(fetched []ids.ID, w, self ids.ID, rng *rand.Rand) {
+	union := make([]ids.ID, 0, len(v.items)+len(fetched)+1)
+	seen := make(map[ids.ID]struct{}, len(v.items)+len(fetched)+1)
+	appendOne := func(id ids.ID) {
+		if id.IsNone() || id == self {
+			return
+		}
+		if _, dup := seen[id]; dup {
+			return
+		}
+		seen[id] = struct{}{}
+		union = append(union, id)
+	}
+	for _, id := range v.items {
+		appendOne(id)
+	}
+	for _, id := range fetched {
+		appendOne(id)
+	}
+	appendOne(w)
+	// Partial Fisher-Yates: choose max entries uniformly at random.
+	k := v.max
+	if k > len(union) {
+		k = len(union)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(union)-i)
+		union[i], union[j] = union[j], union[i]
+	}
+	v.clear()
+	for _, id := range union[:k] {
+		v.add(id)
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"avmon"
+	"avmon/internal/churn"
+	"avmon/internal/hashing"
+	"avmon/internal/ids"
+	"avmon/internal/membership"
+	"avmon/internal/stats"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out. They
+// go beyond the paper's figures: each switches off (or swaps) one
+// mechanism and measures what degrades.
+
+// AblationReshuffle measures the coarse-view reshuffle step of
+// Figure 2: without it, coarse views freeze and discovery of monitors
+// for late-joining nodes slows dramatically.
+func AblationReshuffle(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	n := ns[len(ns)-1]
+	table := &Table{
+		Title:  fmt.Sprintf("Coarse-view reshuffle ablation (STAT, N = %d)", n),
+		Header: []string{"variant", "discovered", "missed", "mean discovery (s)"},
+	}
+	for _, disable := range []bool{false, true} {
+		s := synthScenario(o, modelSTAT, n, 45*time.Minute)
+		s.opts.DisableReshuffle = disable
+		out, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		times, missed := out.firstDiscoveries(out.controlOrLateBorn())
+		var w stats.Welford
+		for _, d := range times {
+			w.Add(d.Seconds())
+		}
+		name := "reshuffle (paper)"
+		if disable {
+			name = "no reshuffle"
+		}
+		table.AddRow(name, itoa(len(times)), itoa(missed), f2(w.Mean()))
+	}
+	return &Result{
+		ID:     "ablation-reshuffle",
+		Title:  "Why the coarse view is re-randomized every round",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// AblationRejoinWeight measures the rejoin-weight rule of Figure 1:
+// rejoining with the full cvs weight (instead of min(cvs, downtime))
+// inflates the rejoining node's coarse-view indegree beyond cvs,
+// breaking the load-balance invariant. The rule only bites when
+// downtimes are SHORT relative to cvs protocol periods (otherwise
+// min(cvs, downtime) = cvs), so this workload uses frequent 3-minute
+// outages.
+func AblationRejoinWeight(o Options) (*Result, error) {
+	o = o.withDefaults()
+	const n = 600
+	table := &Table{
+		Title: fmt.Sprintf(
+			"Rejoin-weight ablation (flappy SYNTH: 3-minute downtimes, N = %d)", n),
+		Header: []string{"variant", "mean CV size", "mean indegree", "p99 indegree", "msgs/node/min"},
+	}
+	for _, full := range []bool{false, true} {
+		model, err := churn.NewSYNTH(churn.SynthConfig{
+			N:            n,
+			ChurnPerHour: 2.0, // mean session 30 min: nodes flap constantly
+			MeanDowntime: 3 * time.Minute,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c, err := avmon.NewCluster(avmon.ClusterConfig{
+			N:    n,
+			Seed: o.Seed,
+			Options: avmon.NodeOptions{
+				RejoinFullWeight: full,
+			},
+		}, model)
+		if err != nil {
+			return nil, err
+		}
+		horizon := o.scaled(3*time.Hour, 45*time.Minute)
+		c.Run(horizon)
+		// Aggregate message volume: the rejoin cascade costs ≈weight
+		// JOIN forwards, so capping the weight cuts system traffic.
+		var totalMsgs uint64
+		for i := 0; i < c.Size(); i++ {
+			totalMsgs += c.Stats(i).Traffic.MsgsOut
+		}
+		msgsPerNodeMin := float64(totalMsgs) / float64(c.Size()) / horizon.Minutes()
+		// Indegree: how many alive coarse views contain each node.
+		indegree := make(map[avmon.ID]int)
+		var alive []int
+		for i := 0; i < c.Size(); i++ {
+			if c.Stats(i).Alive {
+				alive = append(alive, i)
+			}
+		}
+		var cvSize stats.Welford
+		for _, idx := range alive {
+			cvSize.Add(float64(c.Stats(idx).CVSize))
+			for _, member := range c.CoarseViewOf(idx) {
+				indegree[member]++
+			}
+		}
+		var deg stats.CDF
+		for _, idx := range alive {
+			deg.Add(float64(indegree[c.IDOf(idx)]))
+		}
+		name := "min(cvs, downtime) (paper)"
+		if full {
+			name = "always cvs"
+		}
+		table.AddRow(name, f2(cvSize.Mean()), f2(deg.Mean()),
+			f2(deg.Percentile(99)), f2(msgsPerNodeMin))
+	}
+	return &Result{
+		ID:     "ablation-rejoin-weight",
+		Title:  "Why rejoin weight is capped by downtime",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// AblationForgetful sweeps the forgetful-pinging parameters c and τ:
+// the accuracy / useless-ping tradeoff of Section 3.3.
+func AblationForgetful(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	n := ns[len(ns)-1]
+	table := &Table{
+		Title:  fmt.Sprintf("Forgetful-pinging parameter sweep (SYNTH, N = %d)", n),
+		Header: []string{"c", "tau", "useless pings/min/node", "mean |rel err|"},
+	}
+	type params struct {
+		c   float64
+		tau time.Duration
+	}
+	for _, p := range []params{
+		{1, 2 * time.Minute},  // paper default
+		{1, 10 * time.Minute}, // lazier threshold
+		{3, 2 * time.Minute},  // more persistent pinging
+		{0.25, 2 * time.Minute},
+	} {
+		s := synthScenario(o, modelSYNTH, n, 3*time.Hour)
+		s.opts.Forgetful = true
+		s.opts.ForgetfulC = p.c
+		s.opts.ForgetfulTau = p.tau
+		out, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		minutes := out.measure.Minutes()
+		var useless stats.Welford
+		for _, idx := range out.aliveIndexes() {
+			delta := out.c.Stats(idx).UselessMonPings - out.uselessAtW[idx]
+			useless.Add(float64(delta) / minutes)
+		}
+		errSum, count := 0.0, 0
+		for _, idx := range out.controlOrLateBorn() {
+			r, ok := estimateRatio(out.c, idx)
+			if !ok {
+				continue
+			}
+			e := r - 1
+			if e < 0 {
+				e = -e
+			}
+			errSum += e
+			count++
+		}
+		meanErr := 0.0
+		if count > 0 {
+			meanErr = errSum / float64(count)
+		}
+		table.AddRow(f2(p.c), p.tau.String(), f4(useless.Mean()), f4(meanErr))
+	}
+	return &Result{
+		ID:     "ablation-forgetful",
+		Title:  "Forgetful pinging: accuracy vs wasted bandwidth",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// AblationConsistency contrasts AVMON's churn-proof selection with the
+// DHT replica-set approach: monitor-set damage per join/leave and the
+// monitor-pair correlation statistic (randomness condition 3(b)).
+func AblationConsistency(o Options) (*Result, error) {
+	o = o.withDefaults()
+	const (
+		n = 500
+		k = 8
+	)
+	ring := membership.NewRing(hashing.FastHasher{}, k)
+	pop := make([]ids.ID, n)
+	for i := range pop {
+		pop[i] = ids.Sim(i)
+		ring.Add(pop[i])
+	}
+	// DHT: damage from 20 joins and 20 leaves.
+	var joinDamage, leaveDamage stats.Welford
+	for i := 0; i < 20; i++ {
+		newcomer := ids.Sim(10000 + i)
+		joinDamage.Add(float64(ring.ConsistencyDamage(newcomer, ring.Add, pop)))
+		leaveDamage.Add(float64(ring.ConsistencyDamage(pop[i], ring.Remove, pop)))
+		ring.Add(pop[i]) // restore
+	}
+	// Correlation statistic for both schemes.
+	dhtSets := make(map[ids.ID][]ids.ID, n)
+	for _, x := range pop {
+		dhtSets[x] = ring.MonitorsOf(x)
+	}
+	sel, err := hashing.NewSelector(hashing.FastHasher{}, k, n)
+	if err != nil {
+		return nil, err
+	}
+	avmonSets := make(map[ids.ID][]ids.ID, n)
+	for _, x := range pop {
+		var set []ids.ID
+		for _, y := range pop {
+			if sel.Related(y, x) {
+				set = append(set, y)
+			}
+		}
+		avmonSets[x] = set
+	}
+	table := &Table{
+		Title:  fmt.Sprintf("Selection-scheme comparison (N = %d, K = %d)", n, k),
+		Header: []string{"property", "AVMON hash condition", "DHT replica set"},
+	}
+	table.AddRow("monitor sets changed per join", "0 (consistent)", f2(joinDamage.Mean()))
+	table.AddRow("monitor sets changed per leave", "0 (consistent)", f2(leaveDamage.Mean()))
+	table.AddRow("monitor-pair correlation (1 = uncorrelated)",
+		f2(membership.PairCorrelation(avmonSets)),
+		f2(membership.PairCorrelation(dhtSets)))
+	return &Result{
+		ID:     "ablation-consistency",
+		Title:  "AVMON vs DHT-based monitor selection",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// AblationHash compares the hash functions behind the consistency
+// condition: all must yield the same expected PS sizes; they differ
+// only in evaluation cost.
+func AblationHash(o Options) (*Result, error) {
+	o = o.withDefaults()
+	const (
+		n = 2000
+		k = 11
+	)
+	table := &Table{
+		Title:  fmt.Sprintf("Hash function comparison (N = %d, K = %d)", n, k),
+		Header: []string{"hash", "mean |PS|", "max |PS|", "ns/check (approx)"},
+	}
+	for _, h := range []hashing.Hasher{hashing.MD5Hasher{}, hashing.SHA1Hasher{}, hashing.FastHasher{}} {
+		sel, err := hashing.NewSelector(h, k, n)
+		if err != nil {
+			return nil, err
+		}
+		var sizes stats.Welford
+		maxPS := 0
+		start := time.Now()
+		checks := 0
+		for xi := 0; xi < 300; xi++ {
+			x := ids.Sim(xi)
+			count := 0
+			for yi := 0; yi < n; yi++ {
+				checks++
+				if sel.Related(ids.Sim(yi), x) {
+					count++
+				}
+			}
+			sizes.Add(float64(count))
+			if count > maxPS {
+				maxPS = count
+			}
+		}
+		perCheck := float64(time.Since(start).Nanoseconds()) / float64(checks)
+		table.AddRow(h.Name(), f2(sizes.Mean()), itoa(maxPS), f2(perCheck))
+	}
+	return &Result{
+		ID:     "ablation-hash",
+		Title:  "MD5 vs SHA-1 vs fast mixer for the consistency condition",
+		Tables: []*Table{table},
+	}, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math"
+	"time"
+)
+
+// overreportFractions are the x-axis of Figure 20.
+var overreportFractions = []float64{0, 0.05, 0.10, 0.15, 0.20}
+
+// affectedFraction returns the fraction of measured nodes whose
+// monitor-averaged estimated availability differs from their true
+// availability by more than 0.2 (the paper's "negatively affected"
+// criterion).
+func (o *outcome) affectedFraction() float64 {
+	affected, measured := 0, 0
+	for _, idx := range o.aliveIndexes() {
+		st := o.c.Stats(idx)
+		truth := st.TrueAvailability()
+		if truth <= 0 {
+			continue
+		}
+		var sum float64
+		count := 0
+		for _, mon := range o.c.MonitorsOf(idx) {
+			monIdx, ok := o.c.IndexOf(mon)
+			if !ok {
+				continue
+			}
+			est, known := o.c.EstimateBy(monIdx, o.c.IDOf(idx))
+			if !known {
+				continue
+			}
+			sum += est
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		measured++
+		if math.Abs(sum/float64(count)-truth) > 0.2 {
+			affected++
+		}
+	}
+	if measured == 0 {
+		return 0
+	}
+	return float64(affected) / float64(measured)
+}
+
+// Figure20 reproduces the overreporting attack: a fraction of nodes
+// report 100% availability for all their targets; the y-axis is the
+// fraction of nodes whose measured availability is off by > 0.2.
+func Figure20(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Fraction of nodes negatively affected by overreporting monitors",
+		Header: []string{"fraction misreporting", "SYNTH", "SYNTH-BD", "PL", "OV"},
+	}
+	type workload struct {
+		kind modelKind
+		mk   func(frac float64) scenario
+	}
+	ns := o.ns()
+	n := ns[len(ns)-1]
+	workloads := []workload{
+		{modelSYNTH, func(f float64) scenario {
+			s := synthScenario(o, modelSYNTH, n, 3*time.Hour)
+			s.overreport = f
+			return s
+		}},
+		{modelSYNTHBD, func(f float64) scenario {
+			s := synthScenario(o, modelSYNTHBD, n, 3*time.Hour)
+			s.overreport = f
+			return s
+		}},
+		{modelPL, func(f float64) scenario {
+			s := traceScenario(o, modelPL, 239)
+			s.overreport = f
+			return s
+		}},
+		{modelOV, func(f float64) scenario {
+			s := traceScenario(o, modelOV, 550)
+			s.overreport = f
+			return s
+		}},
+	}
+	for _, frac := range overreportFractions {
+		row := []string{f2(frac)}
+		for _, w := range workloads {
+			out, err := run(w.mk(frac))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(out.affectedFraction()))
+		}
+		table.AddRow(row...)
+	}
+	return &Result{
+		ID:     "figure20",
+		Title:  "Effect of the overreporting attack (Section 5.4)",
+		Tables: []*Table{table},
+	}, nil
+}

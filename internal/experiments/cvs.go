@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"avmon/internal/stats"
+)
+
+// cvsMultipliers are the coarse-view sizes swept by Section 5.2:
+// 4, 6, 8, 10 × N^(1/4).
+var cvsMultipliers = []int{4, 6, 8, 10}
+
+func cvsFor(mult, n int) int {
+	return int(math.Round(float64(mult) * math.Pow(float64(n), 0.25)))
+}
+
+// cvsSweepNs picks the system sizes for the cvs sweep (paper: 500,
+// 1000, 2000).
+func cvsSweepNs(o Options) []int {
+	ns := o.ns()
+	if len(ns) > 3 {
+		ns = ns[len(ns)-3:]
+	}
+	return ns
+}
+
+// Figure11 reproduces "Average discovery time vs cvs" on the STAT
+// model.
+func Figure11(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Average discovery time vs cvs (STAT)",
+		Header: []string{"N", "cvs", "mean discovery (s)", "stddev (s)"},
+	}
+	for _, n := range cvsSweepNs(o) {
+		for _, mult := range cvsMultipliers {
+			cvs := cvsFor(mult, n)
+			s := synthScenario(o, modelSTAT, n, 45*time.Minute)
+			s.opts.CVS = cvs
+			out, err := run(s)
+			if err != nil {
+				return nil, err
+			}
+			times, _ := out.firstDiscoveries(out.controlOrLateBorn())
+			var w stats.Welford
+			for _, d := range times {
+				w.Add(d.Seconds())
+			}
+			table.AddRow(itoa(n), itoa(cvs), f2(w.Mean()), f2(w.Stddev()))
+		}
+	}
+	return &Result{
+		ID:     "figure11",
+		Title:  "Discovery time vs coarse-view size",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// Figure12 reproduces "Memory entries vs cvs, and computations per
+// second vs cvs" on the STAT model.
+func Figure12(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Memory and computations vs cvs (STAT)",
+		Header: []string{"N", "cvs", "mean memory entries", "mean computations/s"},
+	}
+	ns := cvsSweepNs(o)
+	// The paper plots N = 500 and N = 2000 to show N has no influence
+	// at fixed cvs; keep the first and last sizes.
+	edge := []int{ns[0], ns[len(ns)-1]}
+	for _, n := range edge {
+		for _, mult := range cvsMultipliers {
+			cvs := cvsFor(mult, n)
+			s := synthScenario(o, modelSTAT, n, 60*time.Minute)
+			s.opts.CVS = cvs
+			out, err := run(s)
+			if err != nil {
+				return nil, err
+			}
+			alive := out.aliveIndexes()
+			var mem, comps stats.Welford
+			for _, v := range out.memoryEntries(alive) {
+				mem.Add(v)
+			}
+			for _, v := range out.compsPerSecond(alive) {
+				comps.Add(v)
+			}
+			table.AddRow(itoa(n), itoa(cvs), f2(mem.Mean()), f2(comps.Mean()))
+		}
+	}
+	note := &Table{
+		Title:  "Reference points (Section 5.2)",
+		Header: []string{"quantity", "value"},
+	}
+	note.AddRow("paper: memory varies linearly with cvs", "yes")
+	note.AddRow("paper: N has no influence at fixed cvs", "compare rows above")
+	note.AddRow("knee of discovery curve", fmt.Sprintf("cvs = 8·N^(1/4) (see %s)", "figure11"))
+	return &Result{
+		ID:     "figure12",
+		Title:  "Memory and computation vs coarse-view size",
+		Tables: []*Table{table, note},
+	}, nil
+}

@@ -1,0 +1,364 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Table 1, Figures 3-20). Each experiment is a
+// function from Options to a Result holding one or more text tables;
+// cmd/avmon-bench runs them from the command line and bench_test.go
+// wraps each in a testing.B benchmark.
+//
+// Durations scale with Options.Scale: 1.0 approximates the paper's
+// methodology (hour-scale warm-up, multi-hour measurement; the paper
+// ran 48h wall-clock per point, which changes none of the reported
+// steady-state metrics), while small values give quick smoke runs.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"avmon"
+	"avmon/internal/stats"
+)
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Scale multiplies the per-experiment durations (default 1.0).
+	Scale float64
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Ns overrides the system sizes swept by size-sweep experiments.
+	Ns []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// scaled returns d·Scale, floored at min.
+func (o Options) scaled(d, min time.Duration) time.Duration {
+	s := time.Duration(float64(d) * o.Scale)
+	if s < min {
+		return min
+	}
+	return s
+}
+
+// ns returns the sweep sizes (paper default 100..2000).
+func (o Options) ns() []int {
+	if len(o.Ns) > 0 {
+		return o.Ns
+	}
+	return []int{100, 500, 1000, 2000}
+}
+
+// Table is one titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString("## ")
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Result is one experiment's full output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*Table
+}
+
+// String renders all tables.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Result, error)
+
+// Registry maps experiment IDs (table1, figure3..figure20) to their
+// runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":   Table1,
+		"figure3":  Figure3,
+		"figure4":  Figure4,
+		"figure5":  Figure5,
+		"figure6":  Figure6,
+		"figure7":  Figure7,
+		"figure8":  Figure8,
+		"figure9":  Figure9,
+		"figure10": Figure10,
+		"figure11": Figure11,
+		"figure12": Figure12,
+		"figure13": Figure13,
+		"figure14": Figure14,
+		"figure15": Figure15,
+		"figure16": Figure16,
+		"figure17": Figure17,
+		"figure18": Figure18,
+		"figure19": Figure19,
+		"figure20": Figure20,
+		// Ablations of the design choices DESIGN.md calls out (not in
+		// the paper; they justify its mechanisms quantitatively).
+		"ablation-reshuffle":     AblationReshuffle,
+		"ablation-rejoin-weight": AblationRejoinWeight,
+		"ablation-forgetful":     AblationForgetful,
+		"ablation-consistency":   AblationConsistency,
+		"ablation-hash":          AblationHash,
+	}
+}
+
+// IDs returns the registry keys in a stable order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- shared scenario machinery ---------------------------------------
+
+// modelKind names the availability models of Section 5.
+type modelKind int
+
+const (
+	modelSTAT modelKind = iota + 1
+	modelSYNTH
+	modelSYNTHBD
+	modelSYNTHBD2
+	modelPL
+	modelOV
+)
+
+func (k modelKind) String() string {
+	switch k {
+	case modelSTAT:
+		return "STAT"
+	case modelSYNTH:
+		return "SYNTH"
+	case modelSYNTHBD:
+		return "SYNTH-BD"
+	case modelSYNTHBD2:
+		return "SYNTH-BD2"
+	case modelPL:
+		return "PL"
+	case modelOV:
+		return "OV"
+	default:
+		return "?"
+	}
+}
+
+// scenario describes one simulated run.
+type scenario struct {
+	kind        modelKind
+	n           int // stable size / protocol N
+	opts        avmon.NodeOptions
+	overreport  float64
+	warmup      time.Duration
+	measure     time.Duration
+	controlFrac float64 // fraction of N enrolled after warm-up
+	seed        int64
+	loss        float64
+}
+
+// outcome is the state captured from one finished run.
+type outcome struct {
+	c           *avmon.Cluster
+	control     []int // enrolled control nodes (synthetic models)
+	warmupEnd   time.Duration
+	measure     time.Duration
+	checksAtW   map[int]uint64 // hash checks at warm-up end
+	monPingsAtW map[int]uint64
+	uselessAtW  map[int]uint64
+}
+
+func (s scenario) model(horizon time.Duration) (avmon.ChurnModel, error) {
+	switch s.kind {
+	case modelSTAT:
+		return avmon.NewSTATModel(s.n), nil
+	case modelSYNTH:
+		return avmon.NewSYNTHModel(s.n, 0.2)
+	case modelSYNTHBD:
+		return avmon.NewSYNTHBDModel(s.n, 0.2, 0.2)
+	case modelSYNTHBD2:
+		return avmon.NewSYNTHBDModel(s.n, 0.2, 0.4)
+	case modelPL:
+		return avmon.NewPlanetLabModel(s.n, horizon, s.seed)
+	case modelOV:
+		return avmon.NewOvernetModel(s.n, horizon, s.seed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown model kind %d", s.kind)
+	}
+}
+
+// run executes the scenario: build, warm up, enroll control, measure.
+func run(s scenario) (*outcome, error) {
+	horizon := s.warmup + s.measure + time.Hour
+	model, err := s.model(horizon)
+	if err != nil {
+		return nil, err
+	}
+	c, err := avmon.NewCluster(avmon.ClusterConfig{
+		N:                  s.n,
+		Seed:               s.seed,
+		Options:            s.opts,
+		OverreportFraction: s.overreport,
+		Loss:               s.loss,
+	}, model)
+	if err != nil {
+		return nil, err
+	}
+	c.Run(s.warmup)
+	o := &outcome{
+		c:           c,
+		warmupEnd:   c.Elapsed(),
+		measure:     s.measure,
+		checksAtW:   make(map[int]uint64),
+		monPingsAtW: make(map[int]uint64),
+		uselessAtW:  make(map[int]uint64),
+	}
+	if s.controlFrac > 0 {
+		o.control = c.EnrollControl(int(float64(s.n)*s.controlFrac + 0.5))
+	}
+	for i := 0; i < c.Size(); i++ {
+		st := c.Stats(i)
+		o.checksAtW[i] = st.HashChecks
+		o.monPingsAtW[i] = st.MonPingsSent
+		o.uselessAtW[i] = st.UselessMonPings
+	}
+	c.ResetTraffic()
+	c.Run(s.measure)
+	return o, nil
+}
+
+// controlOrLateBorn returns the measurement population: the explicit
+// control group if one was enrolled, otherwise every node born after
+// warm-up (the implicit control group of SYNTH-BD and the traces).
+func (o *outcome) controlOrLateBorn() []int {
+	if len(o.control) > 0 {
+		return o.control
+	}
+	var out []int
+	for i := 0; i < o.c.Size(); i++ {
+		st := o.c.Stats(i)
+		if st.EverBorn && st.BornAtOffset > o.warmupEnd {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// firstDiscoveries returns, for each node in group, the time from its
+// birth to its first monitor discovery (nodes that never discovered
+// are skipped; the count skipped is also returned).
+func (o *outcome) firstDiscoveries(group []int) (times []time.Duration, missed int) {
+	for _, idx := range group {
+		dts := o.c.Stats(idx).DiscoveryTimes
+		if len(dts) == 0 {
+			missed++
+			continue
+		}
+		times = append(times, dts[0])
+	}
+	return times, missed
+}
+
+// meanDiscoveryMinutes averages first-monitor discovery, dropping the
+// single largest outlier as the paper does (Figure 3, footnote 8).
+func meanDiscoveryMinutes(times []time.Duration) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	if len(times) > 2 {
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		times = times[:len(times)-1]
+	}
+	var sum time.Duration
+	for _, d := range times {
+		sum += d
+	}
+	return sum.Minutes() / float64(len(times))
+}
+
+// aliveIndexes returns all currently-alive member indexes.
+func (o *outcome) aliveIndexes() []int {
+	var out []int
+	for i := 0; i < o.c.Size(); i++ {
+		if o.c.Stats(i).Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// cdfTable renders an empirical CDF as (x, fraction ≤ x) rows.
+func cdfTable(title, xLabel string, c *stats.CDF, points int) *Table {
+	t := &Table{Title: title, Header: []string{xLabel, "fraction"}}
+	if c.N() == 0 {
+		t.AddRow("(no samples at this scale)", "-")
+		return t
+	}
+	for _, p := range c.Points(points) {
+		t.AddRow(fmt.Sprintf("%.3g", p.X), fmt.Sprintf("%.4f", p.Y))
+	}
+	return t
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }

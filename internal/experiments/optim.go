@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"avmon"
+	"avmon/internal/stats"
+)
+
+// estimateRatio computes, for one node, the ratio of its
+// monitor-averaged estimated availability to its true availability.
+// ok is false if no monitor has an estimate yet.
+func estimateRatio(c *avmon.Cluster, idx int) (float64, bool) {
+	st := c.Stats(idx)
+	truth := st.TrueAvailability()
+	if truth <= 0 {
+		return 0, false
+	}
+	var sum float64
+	count := 0
+	for _, mon := range c.MonitorsOf(idx) {
+		monIdx, ok := c.IndexOf(mon)
+		if !ok {
+			continue
+		}
+		est, known := c.EstimateBy(monIdx, c.IDOf(idx))
+		if !known {
+			continue
+		}
+		sum += est
+		count++
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return (sum / float64(count)) / truth, true
+}
+
+// Figure17 reproduces "Ratio of estimated availability to actual
+// availability, with and without forgetful pinging" on SYNTH at the
+// largest swept N.
+func Figure17(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	n := ns[len(ns)-1]
+	table := &Table{
+		Title:  fmt.Sprintf("Estimated/actual availability ratio, SYNTH N = %d", n),
+		Header: []string{"variant", "nodes", "mean ratio", "mean |rel err|", "max |rel err|"},
+	}
+	for _, forgetful := range []bool{true, false} {
+		s := synthScenario(o, modelSYNTH, n, 4*time.Hour)
+		s.opts.Forgetful = forgetful
+		out, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		var ratios stats.Welford
+		maxErr, meanErrSum := 0.0, 0.0
+		count := 0
+		for _, idx := range out.controlOrLateBorn() {
+			r, ok := estimateRatio(out.c, idx)
+			if !ok {
+				continue
+			}
+			ratios.Add(r)
+			e := math.Abs(r - 1)
+			meanErrSum += e
+			if e > maxErr {
+				maxErr = e
+			}
+			count++
+		}
+		name := "NON-Forgetful ping"
+		if forgetful {
+			name = "Forgetful ping"
+		}
+		meanErr := 0.0
+		if count > 0 {
+			meanErr = meanErrSum / float64(count)
+		}
+		table.AddRow(name, itoa(count), f4(ratios.Mean()), f4(meanErr), f4(maxErr))
+	}
+	return &Result{
+		ID:     "figure17",
+		Title:  "Availability estimation accuracy under forgetful pinging",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// Figure18 reproduces "Forgetful pinging reduces useless pings sent to
+// absent nodes" across the N sweep on SYNTH.
+func Figure18(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Average useless monitoring pings per node per minute (SYNTH)",
+		Header: []string{"N", "Forgetful", "NON-Forgetful", "reduction factor"},
+	}
+	for _, n := range o.ns() {
+		var rates [2]float64
+		for i, forgetful := range []bool{true, false} {
+			s := synthScenario(o, modelSYNTH, n, 4*time.Hour)
+			s.opts.Forgetful = forgetful
+			out, err := run(s)
+			if err != nil {
+				return nil, err
+			}
+			minutes := out.measure.Minutes()
+			var w stats.Welford
+			for _, idx := range out.aliveIndexes() {
+				delta := out.c.Stats(idx).UselessMonPings - out.uselessAtW[idx]
+				w.Add(float64(delta) / minutes)
+			}
+			rates[i] = w.Mean()
+		}
+		factor := 0.0
+		if rates[0] > 0 {
+			factor = rates[1] / rates[0]
+		}
+		table.AddRow(itoa(n), f4(rates[0]), f4(rates[1]), f2(factor))
+	}
+	return &Result{
+		ID:     "figure18",
+		Title:  "Useless-ping reduction from forgetful pinging",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// Figure19 reproduces the "CDF of per-node outgoing bandwidth" for
+// STAT, STAT-PR2, and OV.
+func Figure19(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	n := ns[len(ns)-1]
+	res := &Result{ID: "figure19", Title: "CDF of per-node outgoing bandwidth (Bps)"}
+	type variant struct {
+		label string
+		s     scenario
+	}
+	statS := synthScenario(o, modelSTAT, n, 2*time.Hour)
+	statS.controlFrac = 0
+	pr2S := statS
+	pr2S.opts.PR2 = true
+	ovS := traceScenario(o, modelOV, 550)
+	// For OV, measure bandwidth over the post-warm-up half of the run.
+	ovS.warmup = ovS.measure / 2
+	ovS.measure = ovS.measure / 2
+	for _, v := range []variant{
+		{fmt.Sprintf("STAT, N=%d", n), statS},
+		{fmt.Sprintf("STAT-PR2, N=%d", n), pr2S},
+		{"OV", ovS},
+	} {
+		out, err := run(v.s)
+		if err != nil {
+			return nil, err
+		}
+		secs := out.measure.Seconds()
+		var c stats.CDF
+		for _, idx := range out.aliveIndexes() {
+			c.Add(float64(out.c.Stats(idx).Traffic.BytesOut) / secs)
+		}
+		t := cdfTable(v.label, "outgoing Bps", &c, 13)
+		t.AddRow("fraction below 10 Bps", f4(c.FractionBelow(10)))
+		t.AddRow("p99.85 (Bps)", f2(c.Percentile(99.85)))
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}

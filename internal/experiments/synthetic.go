@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"avmon/internal/stats"
+)
+
+// synthetic model kinds swept by Figures 3-10.
+var syntheticKinds = []modelKind{modelSTAT, modelSYNTH, modelSYNTHBD}
+
+// synthScenario builds the standard Section 5.1 scenario: default
+// parameters (T = 1 min, cvs = 4·N^(1/4), K = log2 N), one hour of
+// warm-up, then a 10% control group joining simultaneously (explicit
+// for STAT and SYNTH, implicit late-born nodes for SYNTH-BD).
+func synthScenario(o Options, kind modelKind, n int, measure time.Duration) scenario {
+	s := scenario{
+		kind:    kind,
+		n:       n,
+		warmup:  o.scaled(time.Hour, 10*time.Minute),
+		measure: o.scaled(measure, 10*time.Minute),
+		seed:    o.Seed,
+	}
+	if kind == modelSTAT || kind == modelSYNTH {
+		s.controlFrac = 0.10
+	}
+	return s
+}
+
+// Figure3 reproduces "Average discovery times of first monitors for
+// the control group nodes" across STAT, SYNTH, and SYNTH-BD for N in
+// 100..2000.
+func Figure3(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Average discovery time of first monitor (minutes)",
+		Header: []string{"N", "STAT", "SYNTH", "SYNTH-BD"},
+	}
+	for _, n := range o.ns() {
+		row := []string{itoa(n)}
+		for _, kind := range syntheticKinds {
+			out, err := run(synthScenario(o, kind, n, 45*time.Minute))
+			if err != nil {
+				return nil, err
+			}
+			times, _ := out.firstDiscoveries(out.controlOrLateBorn())
+			row = append(row, f2(meanDiscoveryMinutes(times)))
+		}
+		table.AddRow(row...)
+	}
+	return &Result{
+		ID:     "figure3",
+		Title:  "Discovery time of first monitors vs N (synthetic models)",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// discoveryCDF runs one scenario and returns the CDF of first-monitor
+// discovery times in seconds.
+func discoveryCDF(o Options, kind modelKind, n int) (*stats.CDF, int, error) {
+	out, err := run(synthScenario(o, kind, n, 45*time.Minute))
+	if err != nil {
+		return nil, 0, err
+	}
+	times, missed := out.firstDiscoveries(out.controlOrLateBorn())
+	var c stats.CDF
+	for _, d := range times {
+		c.Add(d.Seconds())
+	}
+	return &c, missed, nil
+}
+
+// Figure4 reproduces the CDF of STAT discovery times (N = 100, 2000).
+func Figure4(o Options) (*Result, error) {
+	return discoveryCDFResult(o, "figure4", modelSTAT)
+}
+
+// Figure5 reproduces the CDF of SYNTH-BD discovery times.
+func Figure5(o Options) (*Result, error) {
+	return discoveryCDFResult(o, "figure5", modelSYNTHBD)
+}
+
+func discoveryCDFResult(o Options, id string, kind modelKind) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	edge := []int{ns[0], ns[len(ns)-1]}
+	res := &Result{
+		ID:    id,
+		Title: fmt.Sprintf("CDF of first-monitor discovery time, %v", kind),
+	}
+	for _, n := range edge {
+		cdf, missed, err := discoveryCDF(o, kind, n)
+		if err != nil {
+			return nil, err
+		}
+		t := cdfTable(
+			fmt.Sprintf("%v, N = %d (%d samples, %d undiscovered)", kind, n, cdf.N(), missed),
+			"discovery time (s)", cdf, 13)
+		t.AddRow("p93 (s)", f2(cdf.Percentile(93)))
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// Figure6 reproduces "Average discovery times of first L monitors",
+// L = 1..3, for the largest swept N across the three models.
+func Figure6(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	n := ns[len(ns)-1]
+	table := &Table{
+		Title:  fmt.Sprintf("Average time to discover first L monitors, N = %d (minutes)", n),
+		Header: []string{"L", "STAT", "SYNTH", "SYNTH-BD"},
+	}
+	perKind := make(map[modelKind][]float64)
+	for _, kind := range syntheticKinds {
+		out, err := run(synthScenario(o, kind, n, 60*time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		group := out.controlOrLateBorn()
+		for l := 1; l <= 3; l++ {
+			var w stats.Welford
+			for _, idx := range group {
+				dts := out.c.Stats(idx).DiscoveryTimes
+				if len(dts) >= l {
+					w.Add(dts[l-1].Minutes())
+				}
+			}
+			perKind[kind] = append(perKind[kind], w.Mean())
+		}
+	}
+	for l := 1; l <= 3; l++ {
+		table.AddRow(itoa(l),
+			f2(perKind[modelSTAT][l-1]),
+			f2(perKind[modelSYNTH][l-1]),
+			f2(perKind[modelSYNTHBD][l-1]))
+	}
+	return &Result{
+		ID:     "figure6",
+		Title:  "Time to discovery of first L monitors",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// compsPerSecond returns each group node's consistency-condition
+// evaluations per second over the measurement window. Nodes born
+// during the window are rated over their own lifetime, not the whole
+// window, so late-born nodes are not under-counted.
+func (o *outcome) compsPerSecond(group []int) []float64 {
+	windowEnd := o.warmupEnd + o.measure
+	out := make([]float64, 0, len(group))
+	for _, idx := range group {
+		st := o.c.Stats(idx)
+		secs := o.measure.Seconds()
+		if st.BornAtOffset > o.warmupEnd {
+			secs = (windowEnd - st.BornAtOffset).Seconds()
+		}
+		if secs <= 0 {
+			continue
+		}
+		delta := st.HashChecks - o.checksAtW[idx]
+		out = append(out, float64(delta)/secs)
+	}
+	return out
+}
+
+// Figure7 reproduces "Average computations per second per node" vs N.
+func Figure7(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Average consistency-condition computations per second per node",
+		Header: []string{"N", "STAT", "STAT stddev", "SYNTH", "SYNTH stddev", "SYNTH-BD", "SYNTH-BD stddev"},
+	}
+	for _, n := range o.ns() {
+		row := []string{itoa(n)}
+		for _, kind := range syntheticKinds {
+			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
+			if err != nil {
+				return nil, err
+			}
+			group := out.controlOrLateBorn()
+			if len(group) == 0 {
+				group = out.aliveIndexes()
+			}
+			var w stats.Welford
+			for _, v := range out.compsPerSecond(group) {
+				w.Add(v)
+			}
+			row = append(row, f2(w.Mean()), f2(w.Stddev()))
+		}
+		table.AddRow(row...)
+	}
+	return &Result{
+		ID:     "figure7",
+		Title:  "Computational overhead vs N (synthetic models)",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// Figure8 reproduces the CDF of per-node computations per second.
+func Figure8(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	edge := []int{ns[0], ns[len(ns)-1]}
+	res := &Result{ID: "figure8", Title: "CDF of per-node computations per second"}
+	for _, kind := range syntheticKinds {
+		for _, n := range edge {
+			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
+			if err != nil {
+				return nil, err
+			}
+			var c stats.CDF
+			c.AddAll(out.compsPerSecond(out.aliveIndexes()))
+			res.Tables = append(res.Tables,
+				cdfTable(fmt.Sprintf("%v, N = %d", kind, n), "computations/s", &c, 9))
+		}
+	}
+	return res, nil
+}
+
+// memoryEntries returns |PS|+|TS|+|CV| for each node in group.
+func (o *outcome) memoryEntries(group []int) []float64 {
+	out := make([]float64, 0, len(group))
+	for _, idx := range group {
+		out = append(out, float64(o.c.Stats(idx).MemoryEntries))
+	}
+	return out
+}
+
+// Figure9 reproduces "Average number of memory entries per node" vs N.
+func Figure9(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Average memory entries per node (|PS|+|TS|+|CV|)",
+		Header: []string{"N", "expected (2K+cvs)", "STAT", "SYNTH", "SYNTH-BD"},
+	}
+	for _, n := range o.ns() {
+		var row []string
+		for _, kind := range syntheticKinds {
+			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				expected := 2*out.c.K() + out.c.CVS()
+				row = []string{itoa(n), itoa(expected)}
+			}
+			var w stats.Welford
+			for _, v := range out.memoryEntries(out.aliveIndexes()) {
+				w.Add(v)
+			}
+			row = append(row, f2(w.Mean()))
+		}
+		table.AddRow(row...)
+	}
+	return &Result{
+		ID:     "figure9",
+		Title:  "Memory overhead vs N (synthetic models)",
+		Tables: []*Table{table},
+	}, nil
+}
+
+// Figure10 reproduces the CDF of per-node memory entries.
+func Figure10(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	edge := []int{ns[0], ns[len(ns)-1]}
+	res := &Result{ID: "figure10", Title: "CDF of per-node memory entries"}
+	for _, kind := range syntheticKinds {
+		for _, n := range edge {
+			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
+			if err != nil {
+				return nil, err
+			}
+			var c stats.CDF
+			c.AddAll(out.memoryEntries(out.aliveIndexes()))
+			res.Tables = append(res.Tables,
+				cdfTable(fmt.Sprintf("%v, N = %d", kind, n), "|PS|+|TS|+|CV|", &c, 9))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"avmon"
+	"avmon/internal/hashing"
+	"avmon/internal/ids"
+	"avmon/internal/membership"
+	"avmon/internal/stats"
+)
+
+// Table1 reproduces the paper's Table 1: memory/bandwidth per round
+// (M), expected discovery time (D), and computations per round (C)
+// for Broadcast [11] and the AVMON variants. It emits both the
+// analytical values at N = 1 million (the paper's running example) and
+// measured values from a small live simulation.
+func Table1(o Options) (*Result, error) {
+	o = o.withDefaults()
+
+	analytic := &Table{
+		Title:  "Analytical comparison at N = 1,000,000 (Table 1)",
+		Header: []string{"approach", "cvs", "M (entries/round)", "E[D] (rounds)", "C (checks/round)"},
+	}
+	const bigN = 1_000_000
+	logN := int(math.Round(math.Log2(bigN)))
+	addVariant := func(name string, cvs int) {
+		analytic.AddRow(name, itoa(cvs),
+			itoa(cvs),
+			f2(hashing.ExpectedDiscoveryTime(cvs, bigN)),
+			itoa(2*cvs*cvs))
+	}
+	analytic.AddRow("Broadcast [11]", "-", itoa(bigN), "O(log N), one-time", "2 per join per node")
+	addVariant("AVMON generic, cvs=log N", logN)
+	addVariant("AVMON Optimal-MD, cvs=(2N)^(1/3)", avmon.VariantMD.CVS(bigN))
+	addVariant("AVMON Optimal-MDC/DC, cvs=N^(1/4)", avmon.VariantMDC.CVS(bigN))
+
+	// Measured comparison on a small population.
+	const n = 512
+	measured := &Table{
+		Title:  fmt.Sprintf("Measured comparison at N = %d", n),
+		Header: []string{"approach", "cvs", "bytes/round/node", "mean discovery (rounds)", "checks/round/node"},
+	}
+	// Broadcast: N joins, each costing N-1 messages of 8 bytes;
+	// discovery is immediate.
+	sel, err := hashing.NewSelector(hashing.FastHasher{}, hashing.DefaultK(n), n)
+	if err != nil {
+		return nil, err
+	}
+	b := membership.NewBroadcastDiscovery(sel)
+	for i := 0; i < n; i++ {
+		b.Join(ids.Sim(i))
+	}
+	measured.AddRow("Broadcast [11]", "-",
+		fmt.Sprintf("%.0f (join burst)", float64(b.BytesSent)/float64(n)),
+		"0 (immediate)",
+		f2(float64(b.HashChecks)/float64(n)))
+
+	for _, v := range []struct {
+		name    string
+		variant avmon.Variant
+	}{
+		{"AVMON generic, cvs=log N", avmon.VariantGeneric},
+		{"AVMON Optimal-MD", avmon.VariantMD},
+		{"AVMON Optimal-MDC", avmon.VariantMDC},
+	} {
+		s := synthScenario(o, modelSTAT, n, 45*time.Minute)
+		s.opts.Variant = v.variant
+		out, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		period := time.Minute
+		rounds := out.measure.Minutes()
+		var bytesPer, checksPer stats.Welford
+		for _, idx := range out.aliveIndexes() {
+			st := out.c.Stats(idx)
+			bytesPer.Add(float64(st.Traffic.BytesOut) / rounds)
+			checksPer.Add(float64(st.HashChecks-out.checksAtW[idx]) / rounds)
+		}
+		times, _ := out.firstDiscoveries(out.controlOrLateBorn())
+		var disc stats.Welford
+		for _, d := range times {
+			disc.Add(float64(d) / float64(period))
+		}
+		measured.AddRow(v.name, itoa(out.c.CVS()),
+			f2(bytesPer.Mean()), f2(disc.Mean()), f2(checksPer.Mean()))
+	}
+	return &Result{
+		ID:     "table1",
+		Title:  "AVMON variants vs Broadcast: M, D, C",
+		Tables: []*Table{analytic, measured},
+	}, nil
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"avmon/internal/stats"
+)
+
+// traceScenario builds the Section 5.3 trace-driven scenario: no
+// explicit control group (every node born during the run is measured),
+// protocol parameters derived from the trace's stable size.
+func traceScenario(o Options, kind modelKind, n int) scenario {
+	return scenario{
+		kind:    kind,
+		n:       n,
+		warmup:  0,
+		measure: o.scaled(48*time.Hour, 2*time.Hour),
+		seed:    o.Seed,
+	}
+}
+
+// tracePairs returns the two trace workloads with the paper's sizes:
+// PL with N = 239 (K = 8, cvs = 16) and OV with N = 550 (K = 9,
+// cvs = 19).
+func tracePairs() []struct {
+	kind modelKind
+	n    int
+} {
+	return []struct {
+		kind modelKind
+		n    int
+	}{
+		{modelPL, 239},
+		{modelOV, 550},
+	}
+}
+
+// allBorn returns every node that was ever born (the Nlongterm
+// population of Section 5.3).
+func (o *outcome) allBorn() []int {
+	var out []int
+	for i := 0; i < o.c.Size(); i++ {
+		if o.c.Stats(i).EverBorn {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Figure13 reproduces "CDF of discovery time of first monitors, PL and
+// OV traces".
+func Figure13(o Options) (*Result, error) {
+	o = o.withDefaults()
+	res := &Result{ID: "figure13", Title: "CDF of first-monitor discovery time, PL and OV"}
+	for _, tp := range tracePairs() {
+		out, err := run(traceScenario(o, tp.kind, tp.n))
+		if err != nil {
+			return nil, err
+		}
+		born := out.allBorn()
+		times, missed := out.firstDiscoveries(born)
+		var c stats.CDF
+		for _, d := range times {
+			c.Add(d.Minutes())
+		}
+		t := cdfTable(
+			fmt.Sprintf("%v (N=%d, Nlongterm=%d, %d undiscovered)", tp.kind, tp.n, len(born), missed),
+			"discovery time (min)", &c, 13)
+		t.AddRow("fraction within 63s", f4(c.FractionBelow(63.0/60)))
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// Figure14 reproduces "CDF of number of memory entries per node, PL
+// and OV traces".
+func Figure14(o Options) (*Result, error) {
+	o = o.withDefaults()
+	res := &Result{ID: "figure14", Title: "CDF of per-node memory entries, PL and OV"}
+	for _, tp := range tracePairs() {
+		out, err := run(traceScenario(o, tp.kind, tp.n))
+		if err != nil {
+			return nil, err
+		}
+		var c stats.CDF
+		c.AddAll(out.memoryEntries(out.aliveIndexes()))
+		expected := 2*out.c.K() + out.c.CVS()
+		t := cdfTable(
+			fmt.Sprintf("%v (N=%d, expected %d entries)", tp.kind, tp.n, expected),
+			"|PS|+|TS|+|CV|", &c, 11)
+		t.AddRow("max entries", f2(c.Max()))
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// Figure15 reproduces "CDFs of discovery time of first monitors,
+// SYNTH-BD vs SYNTH-BD2" at the largest swept N: doubling the
+// birth/death rate must not noticeably change discovery.
+func Figure15(o Options) (*Result, error) {
+	o = o.withDefaults()
+	ns := o.ns()
+	n := ns[len(ns)-1]
+	res := &Result{ID: "figure15", Title: "Discovery under doubled birth/death churn"}
+	for _, kind := range []modelKind{modelSYNTHBD, modelSYNTHBD2} {
+		s := synthScenario(o, kind, n, 2*time.Hour)
+		out, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		born := out.controlOrLateBorn()
+		times, missed := out.firstDiscoveries(born)
+		var c stats.CDF
+		for _, d := range times {
+			c.Add(d.Minutes())
+		}
+		t := cdfTable(
+			fmt.Sprintf("%v, N = %d (Nlongterm = %d, %d undiscovered)",
+				kind, n, out.c.Size(), missed),
+			"discovery time (min)", &c, 11)
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// Figure16 reproduces "Average number of memory entries, SYNTH-BD vs
+// SYNTH-BD2" across the N sweep: doubling births/deaths adds under 10%
+// of garbage entries.
+func Figure16(o Options) (*Result, error) {
+	o = o.withDefaults()
+	table := &Table{
+		Title:  "Average memory entries per node",
+		Header: []string{"N", "SYNTH-BD", "SYNTH-BD stddev", "SYNTH-BD2", "SYNTH-BD2 stddev", "increase %"},
+	}
+	for _, n := range o.ns() {
+		var means [2]float64
+		var stds [2]float64
+		for i, kind := range []modelKind{modelSYNTHBD, modelSYNTHBD2} {
+			s := synthScenario(o, kind, n, 2*time.Hour)
+			out, err := run(s)
+			if err != nil {
+				return nil, err
+			}
+			var w stats.Welford
+			for _, v := range out.memoryEntries(out.aliveIndexes()) {
+				w.Add(v)
+			}
+			means[i] = w.Mean()
+			stds[i] = w.Stddev()
+		}
+		inc := 0.0
+		if means[0] > 0 {
+			inc = (means[1] - means[0]) / means[0] * 100
+		}
+		table.AddRow(itoa(n), f2(means[0]), f2(stds[0]), f2(means[1]), f2(stds[1]), f2(inc))
+	}
+	return &Result{
+		ID:     "figure16",
+		Title:  "Memory entries under doubled birth/death churn",
+		Tables: []*Table{table},
+	}, nil
+}

@@ -1,0 +1,110 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+
+	"avmon/internal/ids"
+)
+
+// TestCollusionPollutionProbability validates the Section 4.3
+// analysis: with C colluders per node and K = log2(N), the probability
+// that at least one colluder lands in PS(x) is ≈ 1 − (1 − K/N)^C.
+func TestCollusionPollutionProbability(t *testing.T) {
+	const (
+		n = 2000
+		c = 20 // colluders per node
+	)
+	k := DefaultK(n)
+	sel, err := NewSelector(FastHasher{}, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polluted := 0
+	const victims = 1500
+	for v := 0; v < victims; v++ {
+		x := ids.Sim(v)
+		// The colluders are c arbitrary distinct other nodes; use a
+		// disjoint index range so they are deterministic.
+		for ci := 0; ci < c; ci++ {
+			colluder := ids.Sim(100000 + v*c + ci)
+			if sel.Related(colluder, x) {
+				polluted++
+				break
+			}
+		}
+	}
+	got := float64(polluted) / victims
+	want := 1 - math.Pow(1-float64(k)/n, c)
+	sigma := math.Sqrt(want * (1 - want) / victims)
+	if math.Abs(got-want) > 5*sigma {
+		t.Errorf("pollution probability = %.4f, analysis predicts %.4f", got, want)
+	}
+}
+
+// TestMinPSSizeWithLOutOfK validates the Section 4.3 sizing rule: with
+// K = (l+1)·log(N), w.h.p. no node has fewer than l monitors in a
+// population of size N.
+func TestMinPSSizeWithLOutOfK(t *testing.T) {
+	const (
+		n = 1200
+		l = 2
+	)
+	k := KForLOutOfK(l, n)
+	sel, err := NewSelector(FastHasher{}, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := make([]ids.ID, n)
+	for i := range pop {
+		pop[i] = ids.Sim(i)
+	}
+	short := 0
+	for _, x := range pop {
+		count := 0
+		for _, y := range pop {
+			if sel.Related(y, x) {
+				count++
+			}
+		}
+		if count < l {
+			short++
+		}
+	}
+	// The analysis gives O(1/N) probability of ANY node being short;
+	// allow a tiny handful to absorb hash-specific variance.
+	if short > 2 {
+		t.Errorf("%d of %d nodes have fewer than %d monitors with K=%d", short, n, l, k)
+	}
+}
+
+// TestMaxPSSizeLogarithmic validates the balls-and-bins bound: with
+// K = O(log N), the maximum PS size is O(log N) w.h.p.
+func TestMaxPSSizeLogarithmic(t *testing.T) {
+	const n = 1500
+	k := DefaultK(n)
+	sel, err := NewSelector(FastHasher{}, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPS := 0
+	for xi := 0; xi < n; xi++ {
+		x := ids.Sim(xi)
+		count := 0
+		for yi := 0; yi < n; yi++ {
+			if sel.Related(ids.Sim(yi), x) {
+				count++
+			}
+		}
+		if count > maxPS {
+			maxPS = count
+		}
+	}
+	// Raab-Steger: max ≈ K + O(sqrt(K log N)); 3K is a loose ceiling.
+	if maxPS > 3*k {
+		t.Errorf("max |PS| = %d with K = %d; exceeds the O(log N) bound", maxPS, k)
+	}
+	if maxPS < k {
+		t.Errorf("max |PS| = %d below K = %d; selection suspiciously tight", maxPS, k)
+	}
+}

@@ -1,0 +1,248 @@
+package hashing
+
+import (
+	"crypto/md5"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"avmon/internal/ids"
+)
+
+func allHashers() []Hasher {
+	return []Hasher{MD5Hasher{}, SHA1Hasher{}, FastHasher{}}
+}
+
+func TestHashersDeterministic(t *testing.T) {
+	x := ids.MustParse("10.0.0.1:4000")
+	y := ids.MustParse("10.0.0.2:4000")
+	for _, h := range allHashers() {
+		t.Run(h.Name(), func(t *testing.T) {
+			a := h.Hash64(y, x)
+			b := h.Hash64(y, x)
+			if a != b {
+				t.Errorf("non-deterministic: %x vs %x", a, b)
+			}
+		})
+	}
+}
+
+func TestHashersOrderSensitive(t *testing.T) {
+	// H(y,x) and H(x,y) are independent evaluations: the relation
+	// y ∈ PS(x) must be distinct from x ∈ PS(y).
+	x := ids.MustParse("10.0.0.1:4000")
+	y := ids.MustParse("10.0.0.2:4000")
+	for _, h := range allHashers() {
+		t.Run(h.Name(), func(t *testing.T) {
+			if h.Hash64(y, x) == h.Hash64(x, y) {
+				t.Errorf("Hash64 is symmetric for %s", h.Name())
+			}
+		})
+	}
+}
+
+func TestMD5MatchesReference(t *testing.T) {
+	// The paper's condition hashes the 12-byte <y||x> encoding with
+	// MD5 and keeps the first 64 bits. Verify against a direct
+	// computation, which is exactly what a third-party verifier does.
+	y := ids.MustParse("192.168.0.7:1234")
+	x := ids.MustParse("10.20.30.40:80")
+	var buf []byte
+	buf = y.AppendWire(buf)
+	buf = x.AppendWire(buf)
+	sum := md5.Sum(buf)
+	var want uint64
+	for i := 0; i < 8; i++ {
+		want = want<<8 | uint64(sum[i])
+	}
+	if got := (MD5Hasher{}).Hash64(y, x); got != want {
+		t.Errorf("MD5 Hash64 = %x, want %x", got, want)
+	}
+}
+
+func TestHasherUniformity(t *testing.T) {
+	// Bucket hash values of many distinct pairs into 16 bins; each bin
+	// should hold roughly 1/16 of the mass (within 5 sigma).
+	const (
+		samples = 20000
+		bins    = 16
+	)
+	for _, h := range allHashers() {
+		t.Run(h.Name(), func(t *testing.T) {
+			var counts [bins]int
+			x := ids.Sim(999999)
+			for i := 0; i < samples; i++ {
+				v := h.Hash64(ids.Sim(i), x)
+				counts[v>>60]++
+			}
+			mean := float64(samples) / bins
+			sigma := math.Sqrt(mean * (1 - 1.0/bins))
+			for b, c := range counts {
+				if math.Abs(float64(c)-mean) > 5*sigma {
+					t.Errorf("bin %d: count %d deviates from mean %.1f by more than 5 sigma", b, c, mean)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectorExpectedPSSize(t *testing.T) {
+	// E[|PS(x)|] should be about K (Section 3.1). Draw a population of
+	// n nodes and count how many are related to each of a few targets.
+	const (
+		n = 4000
+		k = 12
+	)
+	for _, h := range allHashers() {
+		t.Run(h.Name(), func(t *testing.T) {
+			sel, err := NewSelector(h, k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			const targets = 40
+			for ti := 0; ti < targets; ti++ {
+				x := ids.Sim(n + ti)
+				for i := 0; i < n; i++ {
+					if sel.Related(ids.Sim(i), x) {
+						total++
+					}
+				}
+			}
+			mean := float64(total) / targets
+			// Binomial(n, k/n): stddev ≈ sqrt(k). Averaged over 40
+			// targets the standard error is sqrt(k/40) ≈ 0.55; allow 4x.
+			if math.Abs(mean-k) > 4*math.Sqrt(float64(k)/targets) {
+				t.Errorf("mean |PS| = %.2f, want ≈ %d", mean, k)
+			}
+		})
+	}
+}
+
+func TestSelectorConsistencyUnderReparam(t *testing.T) {
+	// The relation must be a pure function of (y, x, K, N, H): two
+	// independently constructed selectors agree everywhere.
+	s1, err := NewSelector(MD5Hasher{}, 8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSelector(MD5Hasher{}, 8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(i, j uint16) bool {
+		y, x := ids.Sim(int(i)), ids.Sim(int(j)+70000)
+		return s1.Related(y, x) == s2.Related(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorSelfNeverRelated(t *testing.T) {
+	sel, err := NewSelector(FastHasher{}, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if sel.Related(ids.Sim(i), ids.Sim(i)) {
+			t.Fatalf("node %d related to itself", i)
+		}
+	}
+}
+
+func TestSelectorParamValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		h    Hasher
+		k, n int
+	}{
+		{"nil hasher", nil, 1, 10},
+		{"zero k", FastHasher{}, 0, 10},
+		{"negative k", FastHasher{}, -1, 10},
+		{"zero n", FastHasher{}, 1, 0},
+		{"k greater than n", FastHasher{}, 11, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSelector(tt.h, tt.k, tt.n); err == nil {
+				t.Error("NewSelector accepted invalid parameters")
+			}
+		})
+	}
+}
+
+func TestSelectorRandomnessNonCorrelation(t *testing.T) {
+	// Condition 3(b): given y, z ∈ PS(x), membership of z in PS(w)
+	// must be independent of y ∈ PS(w). We estimate
+	// Pr(z ∈ PS(w) | y,z ∈ PS(x), y ∈ PS(w)) and compare with K/N.
+	const (
+		n = 900
+		k = 30 // high K so conditioning events are common
+	)
+	sel, err := NewSelector(FastHasher{}, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := make([]ids.ID, n)
+	for i := range pop {
+		pop[i] = ids.Sim(i)
+	}
+	cond, hit := 0, 0
+	for xi := 0; xi < 30; xi++ {
+		x := pop[xi]
+		var ps []ids.ID
+		for _, y := range pop {
+			if sel.Related(y, x) {
+				ps = append(ps, y)
+			}
+		}
+		for i := 0; i < len(ps); i++ {
+			for j := 0; j < len(ps); j++ {
+				if i == j {
+					continue
+				}
+				y, z := ps[i], ps[j]
+				for wi := 30; wi < 90; wi++ {
+					w := pop[wi]
+					if w == y || w == z || w == x {
+						continue
+					}
+					if sel.Related(y, w) {
+						cond++
+						if sel.Related(z, w) {
+							hit++
+						}
+					}
+				}
+			}
+		}
+	}
+	if cond < 200 {
+		t.Fatalf("too few conditioning events (%d) — test setup broken", cond)
+	}
+	got := float64(hit) / float64(cond)
+	want := float64(k) / float64(n)
+	sigma := math.Sqrt(want * (1 - want) / float64(cond))
+	if math.Abs(got-want) > 6*sigma {
+		t.Errorf("conditional Pr(z∈PS(w)) = %.4f, want ≈ %.4f (independence violated)", got, want)
+	}
+}
+
+func BenchmarkHash64MD5(b *testing.B) {
+	h := MD5Hasher{}
+	x, y := ids.Sim(1), ids.Sim(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Hash64(y, x)
+	}
+}
+
+func BenchmarkHash64Fast(b *testing.B) {
+	h := FastHasher{}
+	x, y := ids.Sim(1), ids.Sim(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Hash64(y, x)
+	}
+}

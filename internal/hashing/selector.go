@@ -1,0 +1,67 @@
+package hashing
+
+import (
+	"fmt"
+	"math"
+
+	"avmon/internal/ids"
+)
+
+// Selector implements the paper's consistency condition
+//
+//	y ∈ PS(x)  ⇐⇒  H(y, x) ≤ K/N
+//
+// for a fixed hash function and fixed parameters K and N (Section 3.1).
+// Because K, N, and H are system-wide constants, the relation is
+// consistent (independent of churn and of who evaluates it),
+// verifiable (any third node can recompute it), and random (H is
+// uniform and pairwise uncorrelated).
+type Selector struct {
+	hasher    Hasher
+	k         int
+	n         int
+	threshold uint64 // floor(K/N * 2^64), the integer form of K/N
+}
+
+// NewSelector builds a Selector with pinging-set parameter k and
+// expected stable system size n. It returns an error on non-positive
+// parameters or k > n (the condition would then be vacuous or total).
+func NewSelector(h Hasher, k, n int) (*Selector, error) {
+	if h == nil {
+		return nil, fmt.Errorf("hashing: nil hasher")
+	}
+	if k <= 0 || n <= 0 {
+		return nil, fmt.Errorf("hashing: K and N must be positive (K=%d, N=%d)", k, n)
+	}
+	if k > n {
+		return nil, fmt.Errorf("hashing: K must not exceed N (K=%d, N=%d)", k, n)
+	}
+	frac := float64(k) / float64(n)
+	var thr uint64
+	if frac >= 1 {
+		thr = math.MaxUint64
+	} else {
+		thr = uint64(frac * math.Exp2(64))
+	}
+	return &Selector{hasher: h, k: k, n: n, threshold: thr}, nil
+}
+
+// Related reports whether y ∈ PS(x), i.e. whether y monitors x.
+func (s *Selector) Related(y, x ids.ID) bool {
+	if y == x {
+		return false
+	}
+	return s.hasher.Hash64(y, x) <= s.threshold
+}
+
+// K returns the pinging-set parameter.
+func (s *Selector) K() int { return s.k }
+
+// N returns the expected stable system size.
+func (s *Selector) N() int { return s.n }
+
+// Hasher returns the underlying hash function.
+func (s *Selector) Hasher() Hasher { return s.hasher }
+
+// Threshold returns the 64-bit integer form of K/N.
+func (s *Selector) Threshold() uint64 { return s.threshold }

@@ -1,0 +1,146 @@
+package ids
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		addr string
+	}{
+		{"loopback", "127.0.0.1:8080"},
+		{"low ports", "10.0.0.1:1"},
+		{"high everything", "255.255.255.255:65535"},
+		{"sim style", "10.1.2.3:4000"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			id, err := Parse(tt.addr)
+			if err != nil {
+				t.Fatalf("Parse(%q) error: %v", tt.addr, err)
+			}
+			if got := id.String(); got != tt.addr {
+				t.Errorf("String() = %q, want %q", got, tt.addr)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		addr string
+	}{
+		{"missing port", "1.2.3.4"},
+		{"bad port", "1.2.3.4:70000"},
+		{"non-numeric port", "1.2.3.4:abc"},
+		{"too few octets", "1.2.3:80"},
+		{"too many octets", "1.2.3.4.5:80"},
+		{"octet overflow", "1.2.3.300:80"},
+		{"all zero", "0.0.0.0:0"},
+		{"empty", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.addr); !errors.Is(err, ErrBadAddr) {
+				t.Errorf("Parse(%q) error = %v, want ErrBadAddr", tt.addr, err)
+			}
+		})
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	id := New(192, 168, 1, 77, 9999)
+	w := id.Wire()
+	got, err := FromWire(w[:])
+	if err != nil {
+		t.Fatalf("FromWire error: %v", err)
+	}
+	if got != id {
+		t.Errorf("FromWire(Wire()) = %v, want %v", got, id)
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(a, b, c, d byte, port uint16) bool {
+		id := New(a, b, c, d, port)
+		w := id.Wire()
+		got, err := FromWire(w[:])
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendWireMatchesWire(t *testing.T) {
+	f := func(a, b, c, d byte, port uint16) bool {
+		id := New(a, b, c, d, port)
+		w := id.Wire()
+		app := id.AppendWire(nil)
+		if len(app) != WireLen {
+			return false
+		}
+		for i := range app {
+			if app[i] != w[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromWireShort(t *testing.T) {
+	if _, err := FromWire([]byte{1, 2, 3}); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("FromWire(short) error = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestSimUnique(t *testing.T) {
+	const n = 5000
+	seen := make(map[ID]int, n)
+	for i := 0; i < n; i++ {
+		id := Sim(i)
+		if id.IsNone() {
+			t.Fatalf("Sim(%d) produced the None ID", i)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("Sim(%d) == Sim(%d) == %v", i, prev, id)
+		}
+		seen[id] = i
+	}
+}
+
+func TestSimOctets(t *testing.T) {
+	id := Sim(0x010203)
+	a, b, c, d := id.Octets()
+	if a != 10 || b != 1 || c != 2 || d != 3 {
+		t.Errorf("Sim octets = %d.%d.%d.%d, want 10.1.2.3", a, b, c, d)
+	}
+	if id.Port() != 4000 {
+		t.Errorf("Sim port = %d, want 4000", id.Port())
+	}
+}
+
+func TestSort(t *testing.T) {
+	s := []ID{Sim(3), Sim(1), Sim(2)}
+	Sort(s)
+	if s[0] != Sim(1) || s[1] != Sim(2) || s[2] != Sim(3) {
+		t.Errorf("Sort produced %v", s)
+	}
+}
+
+func TestNoneIsInvalid(t *testing.T) {
+	if !None.IsNone() {
+		t.Error("None.IsNone() = false")
+	}
+	if Sim(7).IsNone() {
+		t.Error("valid ID reported as None")
+	}
+}

@@ -1,0 +1,184 @@
+package membership
+
+import (
+	"math/rand"
+
+	"avmon/internal/ids"
+)
+
+// Cyclon is a self-contained implementation of the CYCLON shuffling
+// protocol (Voulgaris, Gavidia & van Steen, JNSM 2005) — the related
+// membership system the paper credits for inspiring AVMON's
+// coarse-view exchange (Section 2). It exists as a comparison
+// baseline: CYCLON maintains a random membership graph but provides
+// neither consistency nor verifiability of monitoring relationships.
+//
+// The implementation is round-synchronous and in-process (no
+// transport): Step advances every node by one shuffle, which is all
+// the randomness comparison needs.
+type Cyclon struct {
+	viewSize   int
+	shuffleLen int
+	rng        *rand.Rand
+	nodes      map[ids.ID]*cyclonNode
+	order      []ids.ID // deterministic iteration
+}
+
+type cyclonNode struct {
+	id   ids.ID
+	view []cyclonEntry
+}
+
+type cyclonEntry struct {
+	id  ids.ID
+	age int
+}
+
+// NewCyclon builds a CYCLON overlay with the given view size and
+// shuffle length (entries exchanged per gossip).
+func NewCyclon(viewSize, shuffleLen int, rng *rand.Rand) *Cyclon {
+	if shuffleLen > viewSize {
+		shuffleLen = viewSize
+	}
+	return &Cyclon{
+		viewSize:   viewSize,
+		shuffleLen: shuffleLen,
+		rng:        rng,
+		nodes:      make(map[ids.ID]*cyclonNode),
+	}
+}
+
+// AddNode inserts a node whose initial view is drawn from the nodes
+// already present (bootstrap chain).
+func (c *Cyclon) AddNode(id ids.ID) {
+	n := &cyclonNode{id: id}
+	// Seed the view with up to viewSize random existing nodes.
+	for _, other := range c.order {
+		if len(n.view) >= c.viewSize {
+			break
+		}
+		n.view = append(n.view, cyclonEntry{id: other})
+	}
+	c.rng.Shuffle(len(n.view), func(i, j int) { n.view[i], n.view[j] = n.view[j], n.view[i] })
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+}
+
+// Len returns the population size.
+func (c *Cyclon) Len() int { return len(c.order) }
+
+// View returns a copy of a node's current neighbor list.
+func (c *Cyclon) View(id ids.ID) []ids.ID {
+	n, ok := c.nodes[id]
+	if !ok {
+		return nil
+	}
+	out := make([]ids.ID, 0, len(n.view))
+	for _, e := range n.view {
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// Step advances every node by one CYCLON shuffle: increase ages, pick
+// the oldest neighbor q, send a subset (with self, age 0), receive a
+// subset back, and merge with replacement.
+func (c *Cyclon) Step() {
+	for _, id := range c.order {
+		p := c.nodes[id]
+		if len(p.view) == 0 {
+			continue
+		}
+		for i := range p.view {
+			p.view[i].age++
+		}
+		// Oldest neighbor q.
+		oldest := 0
+		for i := range p.view {
+			if p.view[i].age > p.view[oldest].age {
+				oldest = i
+			}
+		}
+		qid := p.view[oldest].id
+		q, ok := c.nodes[qid]
+		if !ok {
+			// Departed node: drop it.
+			p.view = append(p.view[:oldest], p.view[oldest+1:]...)
+			continue
+		}
+		// p's outgoing subset: q's entry replaced by self with age 0,
+		// plus shuffleLen-1 random others.
+		p.view = append(p.view[:oldest], p.view[oldest+1:]...)
+		outgoing := []cyclonEntry{{id: p.id, age: 0}}
+		c.rng.Shuffle(len(p.view), func(i, j int) { p.view[i], p.view[j] = p.view[j], p.view[i] })
+		for i := 0; i < len(p.view) && len(outgoing) < c.shuffleLen; i++ {
+			outgoing = append(outgoing, p.view[i])
+		}
+		// q's reply subset.
+		c.rng.Shuffle(len(q.view), func(i, j int) { q.view[i], q.view[j] = q.view[j], q.view[i] })
+		replyLen := c.shuffleLen
+		if replyLen > len(q.view) {
+			replyLen = len(q.view)
+		}
+		reply := append([]cyclonEntry(nil), q.view[:replyLen]...)
+		// Merge at q: incoming entries fill empty slots, then replace
+		// the entries q just sent.
+		c.merge(q, outgoing, reply)
+		// Merge at p symmetric.
+		c.merge(p, reply, outgoing)
+	}
+}
+
+// merge folds incoming entries into n's view, preferring to replace
+// the entries in sent, never duplicating, never pointing at self.
+func (c *Cyclon) merge(n *cyclonNode, incoming, sent []cyclonEntry) {
+	present := make(map[ids.ID]bool, len(n.view))
+	for _, e := range n.view {
+		present[e.id] = true
+	}
+	sentSet := make(map[ids.ID]bool, len(sent))
+	for _, e := range sent {
+		sentSet[e.id] = true
+	}
+	for _, e := range incoming {
+		if e.id == n.id || present[e.id] {
+			continue
+		}
+		if len(n.view) < c.viewSize {
+			n.view = append(n.view, e)
+			present[e.id] = true
+			continue
+		}
+		// Replace one of the entries we just shipped out.
+		replaced := false
+		for i := range n.view {
+			if sentSet[n.view[i].id] {
+				delete(sentSet, n.view[i].id)
+				present[n.view[i].id] = false
+				n.view[i] = e
+				present[e.id] = true
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			break // view full and nothing replaceable
+		}
+	}
+}
+
+// IndegreeDistribution returns, for every node, how many views point
+// at it. CYCLON's claim (and AVMON's requirement for its coarse view)
+// is that this distribution concentrates around viewSize.
+func (c *Cyclon) IndegreeDistribution() map[ids.ID]int {
+	deg := make(map[ids.ID]int, len(c.order))
+	for _, id := range c.order {
+		deg[id] = 0
+	}
+	for _, id := range c.order {
+		for _, e := range c.nodes[id].view {
+			deg[e.id]++
+		}
+	}
+	return deg
+}

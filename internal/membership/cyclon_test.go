@@ -1,0 +1,145 @@
+package membership
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"avmon/internal/ids"
+)
+
+func newCyclonOverlay(t *testing.T, n, viewSize, shuffleLen int, seed int64) *Cyclon {
+	t.Helper()
+	c := NewCyclon(viewSize, shuffleLen, rand.New(rand.NewSource(seed)))
+	for i := 0; i < n; i++ {
+		c.AddNode(ids.Sim(i))
+	}
+	return c
+}
+
+func TestCyclonViewInvariants(t *testing.T) {
+	c := newCyclonOverlay(t, 100, 8, 4, 1)
+	for step := 0; step < 50; step++ {
+		c.Step()
+	}
+	for i := 0; i < 100; i++ {
+		id := ids.Sim(i)
+		view := c.View(id)
+		if len(view) > 8 {
+			t.Fatalf("node %d view size %d exceeds 8", i, len(view))
+		}
+		seen := make(map[ids.ID]bool)
+		for _, v := range view {
+			if v == id {
+				t.Fatalf("node %d has itself in its view", i)
+			}
+			if seen[v] {
+				t.Fatalf("node %d has duplicate view entry %v", i, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestCyclonViewsFillUp(t *testing.T) {
+	// Early nodes start with tiny views (bootstrap chain); shuffling
+	// must grow everyone to a full view.
+	c := newCyclonOverlay(t, 80, 6, 3, 2)
+	for step := 0; step < 100; step++ {
+		c.Step()
+	}
+	full := 0
+	for i := 0; i < 80; i++ {
+		if len(c.View(ids.Sim(i))) == 6 {
+			full++
+		}
+	}
+	if full < 70 {
+		t.Errorf("only %d of 80 nodes reached a full view", full)
+	}
+}
+
+func TestCyclonIndegreeConcentrates(t *testing.T) {
+	// The property AVMON's coarse view also needs: indegree stays
+	// close to the view size for everyone (load balance).
+	c := newCyclonOverlay(t, 150, 8, 4, 3)
+	for step := 0; step < 150; step++ {
+		c.Step()
+	}
+	deg := c.IndegreeDistribution()
+	var sum, sumSq float64
+	for _, d := range deg {
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	n := float64(len(deg))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if mean < 6 || mean > 8.5 {
+		t.Errorf("mean indegree = %.2f, want ≈ 8", mean)
+	}
+	// CYCLON's signature: a tight indegree distribution.
+	if std > mean {
+		t.Errorf("indegree stddev %.2f too wide (mean %.2f)", std, mean)
+	}
+	// Nobody starves.
+	for id, d := range deg {
+		if d == 0 {
+			t.Errorf("node %v has indegree 0 after convergence", id)
+		}
+	}
+}
+
+func TestCyclonDepartedNeighborDropped(t *testing.T) {
+	c := newCyclonOverlay(t, 30, 5, 3, 4)
+	for step := 0; step < 20; step++ {
+		c.Step()
+	}
+	// Remove a node behind the overlay's back (silent death).
+	dead := ids.Sim(7)
+	delete(c.nodes, dead)
+	for i, id := range c.order {
+		if id == dead {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	for step := 0; step < 60; step++ {
+		c.Step()
+	}
+	for i := 0; i < 30; i++ {
+		id := ids.Sim(i)
+		if id == dead {
+			continue
+		}
+		for _, v := range c.View(id) {
+			if v == dead {
+				t.Fatalf("node %d still references the departed node", i)
+			}
+		}
+	}
+}
+
+func TestCyclonShuffleLenClamped(t *testing.T) {
+	c := NewCyclon(4, 10, rand.New(rand.NewSource(5)))
+	if c.shuffleLen != 4 {
+		t.Errorf("shuffleLen = %d, want clamped to 4", c.shuffleLen)
+	}
+}
+
+func TestCyclonDeterministic(t *testing.T) {
+	run := func() int {
+		c := newCyclonOverlay(t, 60, 6, 3, 9)
+		for step := 0; step < 40; step++ {
+			c.Step()
+		}
+		total := 0
+		for _, d := range c.IndegreeDistribution() {
+			total += d
+		}
+		return total
+	}
+	if run() != run() {
+		t.Error("CYCLON runs diverged for the same seed")
+	}
+}

@@ -1,0 +1,113 @@
+// Package netstack runs the AVMON protocol on a real network: a
+// compact binary codec for core.Message and a UDP transport. A node's
+// identity doubles as its UDP address, so no resolution layer is
+// needed — exactly the <IP, port> identity the paper hashes.
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"avmon/internal/core"
+	"avmon/internal/ids"
+)
+
+// ErrCodec reports a malformed wire message.
+var ErrCodec = errors.New("netstack: bad message")
+
+// MaxViewEntries bounds the coarse-view payload accepted on the wire,
+// protecting against memory-exhaustion from forged datagrams.
+const MaxViewEntries = 4096
+
+// fixed layout:
+//
+//	offset size field
+//	0      1    type
+//	1      6    from
+//	7      6    subject
+//	13     6    u
+//	19     6    v
+//	25     4    weight (int32, big-endian)
+//	29     8    seq
+//	37     4    count (int32)
+//	41     8    avail (float64 bits)
+//	49     1    known
+//	50     2    len(view)
+//	52     6×n  view entries
+const fixedLen = 52
+
+// Encode serializes m.
+func Encode(m *core.Message) ([]byte, error) {
+	if len(m.View) > MaxViewEntries {
+		return nil, fmt.Errorf("%w: view too large (%d entries)", ErrCodec, len(m.View))
+	}
+	if m.Weight > math.MaxInt32 || m.Weight < math.MinInt32 ||
+		m.Count > math.MaxInt32 || m.Count < math.MinInt32 {
+		return nil, fmt.Errorf("%w: field overflow", ErrCodec)
+	}
+	buf := make([]byte, 0, fixedLen+ids.WireLen*len(m.View))
+	buf = append(buf, byte(m.Type))
+	buf = m.From.AppendWire(buf)
+	buf = m.Subject.AppendWire(buf)
+	buf = m.U.AppendWire(buf)
+	buf = m.V.AppendWire(buf)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.Weight)))
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.Count)))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Avail))
+	known := byte(0)
+	if m.Known {
+		known = 1
+	}
+	buf = append(buf, known)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.View)))
+	for _, id := range m.View {
+		buf = id.AppendWire(buf)
+	}
+	return buf, nil
+}
+
+// Decode parses a datagram produced by Encode.
+func Decode(buf []byte) (*core.Message, error) {
+	if len(buf) < fixedLen {
+		return nil, fmt.Errorf("%w: short datagram (%d bytes)", ErrCodec, len(buf))
+	}
+	m := &core.Message{Type: core.MsgType(buf[0])}
+	var err error
+	if m.From, err = ids.FromWire(buf[1:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if m.Subject, err = ids.FromWire(buf[7:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if m.U, err = ids.FromWire(buf[13:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	if m.V, err = ids.FromWire(buf[19:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	m.Weight = int(int32(binary.BigEndian.Uint32(buf[25:])))
+	m.Seq = binary.BigEndian.Uint64(buf[29:])
+	m.Count = int(int32(binary.BigEndian.Uint32(buf[37:])))
+	m.Avail = math.Float64frombits(binary.BigEndian.Uint64(buf[41:]))
+	m.Known = buf[49] == 1
+	viewLen := int(binary.BigEndian.Uint16(buf[50:]))
+	if viewLen > MaxViewEntries {
+		return nil, fmt.Errorf("%w: view too large (%d entries)", ErrCodec, viewLen)
+	}
+	if len(buf) != fixedLen+ids.WireLen*viewLen {
+		return nil, fmt.Errorf("%w: length %d does not match view count %d", ErrCodec, len(buf), viewLen)
+	}
+	if viewLen > 0 {
+		m.View = make([]ids.ID, viewLen)
+		for i := 0; i < viewLen; i++ {
+			m.View[i], err = ids.FromWire(buf[fixedLen+i*ids.WireLen:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,105 @@
+package netstack
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"avmon/internal/core"
+	"avmon/internal/ids"
+)
+
+// UDPTransport sends and receives AVMON messages over UDP. A node's
+// ids.ID is its own UDP bind address, and peers are dialed by decoding
+// their IDs — no lookup service required.
+type UDPTransport struct {
+	id   ids.ID
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+var _ core.Transport = (*UDPTransport)(nil)
+
+// Listen binds a UDP socket for the given identity. The identity's
+// IP and port must be bindable on this host (use 127.0.0.1 ports for
+// local testing).
+func Listen(id ids.ID) (*UDPTransport, error) {
+	if id.IsNone() {
+		return nil, fmt.Errorf("netstack: cannot listen on the None identity")
+	}
+	addr, err := net.ResolveUDPAddr("udp4", id.String())
+	if err != nil {
+		return nil, fmt.Errorf("netstack: resolve %v: %w", id, err)
+	}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netstack: listen %v: %w", id, err)
+	}
+	return &UDPTransport{id: id, conn: conn}, nil
+}
+
+// ID returns the bound identity.
+func (t *UDPTransport) ID() ids.ID { return t.id }
+
+// Send implements core.Transport: best-effort datagram delivery.
+// Errors are dropped by design — the protocol treats the network as
+// lossy and unresponsive peers as down.
+func (t *UDPTransport) Send(to ids.ID, m *core.Message) {
+	buf, err := Encode(m)
+	if err != nil {
+		return
+	}
+	a, b, c, d := to.Octets()
+	dst := &net.UDPAddr{IP: net.IPv4(a, b, c, d), Port: int(to.Port())}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	_, _ = t.conn.WriteToUDP(buf, dst)
+}
+
+// Serve reads datagrams and invokes handle for each valid message
+// until Close is called. It runs in the caller's goroutine; most
+// callers run it via `go tr.Serve(...)`. Malformed datagrams are
+// counted and dropped.
+func (t *UDPTransport) Serve(handle func(from ids.ID, m *core.Message)) error {
+	t.wg.Add(1)
+	defer t.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("netstack: read: %w", err)
+		}
+		m, err := Decode(buf[:n])
+		if err != nil {
+			continue // forged or corrupt datagram
+		}
+		handle(m.From, m)
+	}
+}
+
+// Close shuts the socket down and waits for Serve to return.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.conn.Close()
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}

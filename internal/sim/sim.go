@@ -1,0 +1,167 @@
+// Package sim provides the discrete-event simulation engine that
+// drives AVMON's trace-driven evaluation (paper Section 5).
+//
+// The engine owns a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order,
+// making runs fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the virtual time origin of every simulation.
+var Epoch = time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all node logic runs inside event callbacks.
+type Engine struct {
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	steps uint64
+}
+
+// New returns an engine whose clock starts at Epoch, with a
+// deterministic random source derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{
+		now: Epoch,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Elapsed returns the virtual time elapsed since Epoch.
+func (e *Engine) Elapsed() time.Duration { return e.now.Sub(Epoch) }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules fn to run at virtual time t. Times in the past are
+// clamped to "now" (the event runs before the clock advances further).
+func (e *Engine) At(t time.Time, fn func()) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// RunUntil executes events in timestamp order until the queue is empty
+// or the next event is after deadline. The clock is left at deadline
+// (or at the last executed event if the queue drained earlier than
+// deadline and deadline is in the past).
+func (e *Engine) RunUntil(deadline time.Time) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at.After(deadline) {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.steps++
+		next.fn()
+	}
+	if deadline.After(e.now) {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		e.steps++
+		next.fn()
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Ticker repeatedly schedules a callback with a fixed period until
+// stopped. It is the simulation analogue of time.Ticker and is used to
+// drive per-node protocol periods, which execute asynchronously across
+// nodes via per-ticker phase offsets (paper Section 3.2).
+type Ticker struct {
+	eng     *Engine
+	period  time.Duration
+	fn      func(now time.Time)
+	stopped bool
+}
+
+// NewTicker schedules fn every period, with the first firing after
+// offset. Stop prevents all future firings.
+func (e *Engine) NewTicker(period, offset time.Duration, fn func(now time.Time)) *Ticker {
+	t := &Ticker{eng: e, period: period, fn: fn}
+	e.After(offset, t.fire)
+	return t
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn(t.eng.Now())
+	if t.stopped { // fn may have stopped the ticker
+		return
+	}
+	t.eng.After(t.period, t.fire)
+}
+
+// Stop cancels future firings. It is idempotent.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

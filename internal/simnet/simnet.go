@@ -1,0 +1,211 @@
+// Package simnet is the simulated network substrate used by the
+// trace-driven evaluation (paper Section 5).
+//
+// It models the paper's system model (Section 3): communication
+// between a pair of nodes is reliable and timely iff both nodes are
+// currently alive. Message payloads are opaque to the network; callers
+// supply the wire size so per-node bandwidth can be accounted exactly
+// as the paper does (outgoing bytes per second, including "useless"
+// messages sent to absent nodes).
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"avmon/internal/ids"
+	"avmon/internal/sim"
+)
+
+// Handler receives a delivered message at an endpoint.
+type Handler func(from ids.ID, msg any, size int)
+
+// LatencyFunc draws a one-way delivery latency.
+type LatencyFunc func(rng *rand.Rand) time.Duration
+
+// ConstantLatency returns a LatencyFunc that always yields d.
+func ConstantLatency(d time.Duration) LatencyFunc {
+	return func(*rand.Rand) time.Duration { return d }
+}
+
+// UniformLatency returns a LatencyFunc uniform in [lo, hi].
+func UniformLatency(lo, hi time.Duration) LatencyFunc {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return func(rng *rand.Rand) time.Duration {
+		if hi == lo {
+			return lo
+		}
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+}
+
+// Counters accumulates per-endpoint traffic statistics.
+type Counters struct {
+	MsgsOut      uint64 // messages sent
+	MsgsIn       uint64 // messages delivered
+	BytesOut     uint64 // bytes sent (counted even if the peer is dead)
+	BytesIn      uint64 // bytes delivered
+	UselessMsgs  uint64 // messages sent to a currently-dead destination
+	UselessBytes uint64 // bytes of such messages
+	Dropped      uint64 // messages lost to random loss injection
+}
+
+// Network connects endpoints through a shared discrete-event engine.
+type Network struct {
+	eng       *sim.Engine
+	latency   LatencyFunc
+	loss      float64
+	endpoints map[ids.ID]*Endpoint
+	order     []*Endpoint // attachment order, for deterministic iteration
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the one-way latency model (default: constant 50ms).
+func WithLatency(l LatencyFunc) Option {
+	return func(n *Network) { n.latency = l }
+}
+
+// WithLoss sets an independent per-message drop probability in [0, 1).
+// The paper assumes reliable links; loss injection exists for failure
+// testing of the protocol's robustness.
+func WithLoss(p float64) Option {
+	return func(n *Network) { n.loss = p }
+}
+
+// New creates a network on the given engine.
+func New(eng *sim.Engine, opts ...Option) *Network {
+	n := &Network{
+		eng:       eng,
+		latency:   ConstantLatency(50 * time.Millisecond),
+		endpoints: make(map[ids.ID]*Endpoint),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Engine returns the underlying simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Attach registers a new endpoint with the given identity and message
+// handler. The endpoint starts dead; call SetAlive(true) to bring it
+// up. Attaching a duplicate identity is a programming error.
+func (n *Network) Attach(id ids.ID, h Handler) (*Endpoint, error) {
+	if id.IsNone() {
+		return nil, fmt.Errorf("simnet: cannot attach the None identity")
+	}
+	if _, ok := n.endpoints[id]; ok {
+		return nil, fmt.Errorf("simnet: endpoint %v already attached", id)
+	}
+	ep := &Endpoint{net: n, id: id, handler: h}
+	n.endpoints[id] = ep
+	n.order = append(n.order, ep)
+	return ep, nil
+}
+
+// Alive reports whether the identified endpoint exists and is up. It
+// is the experiment oracle (e.g. for counting useless pings); protocol
+// code must not use it.
+func (n *Network) Alive(id ids.ID) bool {
+	ep, ok := n.endpoints[id]
+	return ok && ep.alive
+}
+
+// AliveIDs returns the identities of all currently-alive endpoints,
+// in attachment order.
+func (n *Network) AliveIDs() []ids.ID {
+	out := make([]ids.ID, 0, len(n.order))
+	for _, ep := range n.order {
+		if ep.alive {
+			out = append(out, ep.id)
+		}
+	}
+	return out
+}
+
+// RandomAlive returns a uniformly random alive endpoint identity other
+// than exclude, or None if there is no such endpoint. It is used as
+// the bootstrap oracle for the join protocol ("Pick a random node y",
+// Figure 1).
+func (n *Network) RandomAlive(exclude ids.ID) ids.ID {
+	// Reservoir-sample in attachment order so the draw sequence is
+	// deterministic for a given seed.
+	chosen := ids.None
+	count := 0
+	for _, ep := range n.order {
+		if !ep.alive || ep.id == exclude {
+			continue
+		}
+		count++
+		if n.eng.Rand().Intn(count) == 0 {
+			chosen = ep.id
+		}
+	}
+	return chosen
+}
+
+// Endpoint is one node's attachment point to the network.
+type Endpoint struct {
+	net      *Network
+	id       ids.ID
+	alive    bool
+	handler  Handler
+	counters Counters
+}
+
+// ID returns the endpoint's identity.
+func (ep *Endpoint) ID() ids.ID { return ep.id }
+
+// Alive reports whether the endpoint is up.
+func (ep *Endpoint) Alive() bool { return ep.alive }
+
+// SetAlive brings the endpoint up or down. Messages in flight toward a
+// downed endpoint are silently dropped at delivery time (crash-stop,
+// Section 3).
+func (ep *Endpoint) SetAlive(alive bool) { ep.alive = alive }
+
+// Counters returns a snapshot of the endpoint's traffic counters.
+func (ep *Endpoint) Counters() Counters { return ep.counters }
+
+// ResetCounters zeroes the traffic counters (used at the end of
+// experiment warm-up).
+func (ep *Endpoint) ResetCounters() { ep.counters = Counters{} }
+
+// Send transmits msg of the given wire size to the identified peer.
+// Sends from a dead endpoint are ignored. Delivery happens after the
+// network's latency draw, iff the destination is alive at that time.
+func (ep *Endpoint) Send(to ids.ID, msg any, size int) {
+	if !ep.alive {
+		return
+	}
+	ep.counters.MsgsOut++
+	ep.counters.BytesOut += uint64(size)
+	dst, ok := ep.net.endpoints[to]
+	if !ok || !dst.alive {
+		ep.counters.UselessMsgs++
+		ep.counters.UselessBytes += uint64(size)
+		// The message still leaves the sender's NIC; it is simply
+		// never delivered.
+	}
+	if ep.net.loss > 0 && ep.net.eng.Rand().Float64() < ep.net.loss {
+		ep.counters.Dropped++
+		return
+	}
+	from := ep.id
+	d := ep.net.latency(ep.net.eng.Rand())
+	ep.net.eng.After(d, func() {
+		dst, ok := ep.net.endpoints[to]
+		if !ok || !dst.alive {
+			return
+		}
+		dst.counters.MsgsIn++
+		dst.counters.BytesIn += uint64(size)
+		dst.handler(from, msg, size)
+	})
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrBadFormat reports a malformed trace file.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write serializes the trace in the line-oriented avmon-trace-v1
+// format:
+//
+//	avmon-trace-v1 <name> <granularity_s> <duration_s> <stable_n>
+//	node <born_s> <death_s|->
+//	s <start_s> <end_s>
+//	...
+//
+// All times are integer seconds. Lines beginning with '#' are comments.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "avmon-trace-v1 %s %d %d %d\n",
+		t.Name, int(t.Granularity.Seconds()), int(t.Duration.Seconds()), t.StableN)
+	for i := range t.Nodes {
+		nt := &t.Nodes[i]
+		death := "-"
+		if nt.Dead() {
+			death = strconv.Itoa(int(nt.DeathAt.Seconds()))
+		}
+		fmt.Fprintf(bw, "node %d %s\n", int(nt.Born.Seconds()), death)
+		for _, s := range nt.Sessions {
+			fmt.Fprintf(bw, "s %d %d\n", int(s.Start.Seconds()), int(s.End.Seconds()))
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace in the avmon-trace-v1 format and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var t *Trace
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "avmon-trace-v1":
+			if t != nil {
+				return nil, fmt.Errorf("%w: line %d: duplicate header", ErrBadFormat, line)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("%w: line %d: header needs 5 fields", ErrBadFormat, line)
+			}
+			gran, err1 := strconv.Atoi(fields[2])
+			dur, err2 := strconv.Atoi(fields[3])
+			stable, err3 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("%w: line %d: non-integer header field", ErrBadFormat, line)
+			}
+			t = &Trace{
+				Name:        fields[1],
+				Granularity: time.Duration(gran) * time.Second,
+				Duration:    time.Duration(dur) * time.Second,
+				StableN:     stable,
+			}
+		case "node":
+			if t == nil {
+				return nil, fmt.Errorf("%w: line %d: node before header", ErrBadFormat, line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: node needs 3 fields", ErrBadFormat, line)
+			}
+			born, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad born time", ErrBadFormat, line)
+			}
+			nt := NodeTrace{Born: time.Duration(born) * time.Second}
+			if fields[2] != "-" {
+				death, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: bad death time", ErrBadFormat, line)
+				}
+				nt.DeathAt = time.Duration(death) * time.Second
+			}
+			t.Nodes = append(t.Nodes, nt)
+		case "s":
+			if t == nil || len(t.Nodes) == 0 {
+				return nil, fmt.Errorf("%w: line %d: session before node", ErrBadFormat, line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: line %d: session needs 3 fields", ErrBadFormat, line)
+			}
+			start, err1 := strconv.Atoi(fields[1])
+			end, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: line %d: bad session bounds", ErrBadFormat, line)
+			}
+			nt := &t.Nodes[len(t.Nodes)-1]
+			nt.Sessions = append(nt.Sessions, Session{
+				Start: time.Duration(start) * time.Second,
+				End:   time.Duration(end) * time.Second,
+			})
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown record %q", ErrBadFormat, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("%w: missing header", ErrBadFormat)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"avmon/internal/sim"
+)
+
+// recorder mirrors the churn-package test driver.
+type recorder struct {
+	alive  map[int]bool
+	dead   map[int]bool
+	births int
+	events int
+}
+
+func newRecorder() *recorder {
+	return &recorder{alive: make(map[int]bool), dead: make(map[int]bool)}
+}
+
+func (r *recorder) Birth(idx int)  { r.alive[idx] = true; r.births++; r.events++ }
+func (r *recorder) Rejoin(idx int) { r.alive[idx] = true; r.events++ }
+func (r *recorder) Leave(idx int)  { delete(r.alive, idx); r.events++ }
+func (r *recorder) Death(idx int)  { delete(r.alive, idx); r.dead[idx] = true; r.events++ }
+
+func TestModelReplaysTraceExactly(t *testing.T) {
+	tr := &Trace{
+		Name: "unit", Granularity: time.Minute, Duration: 5 * time.Hour, StableN: 2,
+		Nodes: []NodeTrace{
+			{
+				Born: 0,
+				Sessions: []Session{
+					{Start: 0, End: time.Hour},
+					{Start: 2 * time.Hour, End: 3 * time.Hour},
+				},
+			},
+			{
+				Born:     30 * time.Minute,
+				Sessions: []Session{{Start: 30 * time.Minute, End: 4 * time.Hour}},
+				DeathAt:  4 * time.Hour,
+			},
+		},
+	}
+	m, err := NewModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(1)
+	rec := newRecorder()
+	m.Install(eng, rec)
+
+	check := func(at time.Duration, want0, want1 bool) {
+		t.Helper()
+		eng.RunUntil(sim.Epoch.Add(at))
+		if rec.alive[0] != want0 || rec.alive[1] != want1 {
+			t.Errorf("at %v: alive = (%v, %v), want (%v, %v)",
+				at, rec.alive[0], rec.alive[1], want0, want1)
+		}
+	}
+	check(10*time.Minute, true, false)
+	check(45*time.Minute, true, true)
+	check(90*time.Minute, false, true)
+	check(150*time.Minute, true, true)
+	check(200*time.Minute, false, true)
+	check(250*time.Minute, false, false) // node 1 died at 4h
+	if !rec.dead[1] {
+		t.Error("node 1 death not delivered")
+	}
+	if rec.dead[0] {
+		t.Error("node 0 spuriously died")
+	}
+}
+
+func TestModelMetadata(t *testing.T) {
+	tr := GeneratePlanetLab(30, 4*time.Hour, 5)
+	m, err := NewModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "PL" || m.StableN() != 30 {
+		t.Errorf("Name/StableN = %q/%d", m.Name(), m.StableN())
+	}
+	if m.Trace() != tr {
+		t.Error("Trace() does not return the wrapped trace")
+	}
+}
+
+func TestModelRejectsInvalidTrace(t *testing.T) {
+	bad := &Trace{Name: "bad", Granularity: time.Minute, Duration: 0, StableN: 1}
+	if _, err := NewModel(bad); err == nil {
+		t.Error("NewModel accepted an invalid trace")
+	}
+}
+
+func TestModelEnroll(t *testing.T) {
+	tr := GenerateOvernet(40, 6*time.Hour, 7)
+	m, err := NewModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(2)
+	rec := newRecorder()
+	m.Install(eng, rec)
+	eng.RunFor(time.Hour)
+	idx := m.Enroll()
+	if idx < len(tr.Nodes) {
+		t.Errorf("Enroll index %d collides with trace nodes [0, %d)", idx, len(tr.Nodes))
+	}
+	if !rec.alive[idx] {
+		t.Error("enrolled node not alive")
+	}
+	idx2 := m.Enroll()
+	if idx2 == idx {
+		t.Error("Enroll reused an index")
+	}
+	// Enrolled node churns eventually (empirical session lengths are
+	// hours; run long enough).
+	eng.RunFor(40 * time.Hour)
+	if rec.events == 0 {
+		t.Error("no events after enroll")
+	}
+}

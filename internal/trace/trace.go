@@ -1,0 +1,370 @@
+// Package trace provides the availability-trace substrate for the
+// paper's trace-driven experiments (Section 5, classes II and III).
+//
+// The original evaluation injected PlanetLab all-pairs-ping traces
+// (N=239, 1-second granularity) and Overnet churn traces (N=550,
+// 20-minute granularity). Those datasets are not redistributable, so
+// this package provides (a) a portable on-disk trace format with a
+// parser and writer, and (b) synthetic generators that reproduce the
+// published statistical characteristics of each trace (see DESIGN.md,
+// "Substitutions"). Experiments accept any Trace, so real traces can
+// be dropped in via the file format.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Session is one contiguous up-interval of a node, relative to the
+// trace origin. End is exclusive; Start < End always holds in a valid
+// trace.
+type Session struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// NodeTrace is the full lifetime of one node.
+type NodeTrace struct {
+	// Born is the instant the node first enters the system (equal to
+	// Sessions[0].Start).
+	Born time.Duration
+	// Sessions are the node's up-intervals, sorted and non-overlapping.
+	Sessions []Session
+	// DeathAt, if positive, is the instant after which the node never
+	// returns (silent death). Zero means the node never dies within
+	// the trace horizon.
+	DeathAt time.Duration
+}
+
+// Dead reports whether the node dies within the trace.
+func (nt *NodeTrace) Dead() bool { return nt.DeathAt > 0 }
+
+// UpAt reports whether the node is up at time t.
+func (nt *NodeTrace) UpAt(t time.Duration) bool {
+	i := sort.Search(len(nt.Sessions), func(i int) bool {
+		return nt.Sessions[i].End > t
+	})
+	return i < len(nt.Sessions) && nt.Sessions[i].Start <= t
+}
+
+// Uptime returns the node's total up duration.
+func (nt *NodeTrace) Uptime() time.Duration {
+	var total time.Duration
+	for _, s := range nt.Sessions {
+		total += s.End - s.Start
+	}
+	return total
+}
+
+// Availability returns the fraction of the node's lifetime (from Born
+// to death or the horizon) that it was up.
+func (nt *NodeTrace) Availability(horizon time.Duration) float64 {
+	end := horizon
+	if nt.Dead() && nt.DeathAt < end {
+		end = nt.DeathAt
+	}
+	life := end - nt.Born
+	if life <= 0 {
+		return 0
+	}
+	return float64(nt.Uptime()) / float64(life)
+}
+
+// Trace is a complete availability trace for a node population.
+type Trace struct {
+	// Name labels the trace in plots (e.g. "PL", "OV").
+	Name string
+	// Granularity is the sampling interval of the source measurement;
+	// all session boundaries are multiples of it.
+	Granularity time.Duration
+	// Duration is the trace horizon.
+	Duration time.Duration
+	// StableN is the long-term average number of alive nodes, used as
+	// the protocol parameter N (Section 5.3).
+	StableN int
+	// Nodes holds one entry per node ever observed.
+	Nodes []NodeTrace
+}
+
+// Validate checks structural invariants: sorted non-overlapping
+// sessions on granularity boundaries, Born matching the first session,
+// no sessions after death, and a positive horizon.
+func (t *Trace) Validate() error {
+	if t.Duration <= 0 {
+		return fmt.Errorf("trace %q: non-positive duration %v", t.Name, t.Duration)
+	}
+	if t.Granularity <= 0 {
+		return fmt.Errorf("trace %q: non-positive granularity %v", t.Name, t.Granularity)
+	}
+	if t.StableN <= 0 {
+		return fmt.Errorf("trace %q: non-positive stable N %d", t.Name, t.StableN)
+	}
+	for i := range t.Nodes {
+		nt := &t.Nodes[i]
+		if len(nt.Sessions) == 0 {
+			return fmt.Errorf("trace %q node %d: no sessions", t.Name, i)
+		}
+		if nt.Born != nt.Sessions[0].Start {
+			return fmt.Errorf("trace %q node %d: born %v != first session start %v",
+				t.Name, i, nt.Born, nt.Sessions[0].Start)
+		}
+		prevEnd := time.Duration(-1)
+		for j, s := range nt.Sessions {
+			if s.Start >= s.End {
+				return fmt.Errorf("trace %q node %d session %d: empty interval [%v, %v)",
+					t.Name, i, j, s.Start, s.End)
+			}
+			if s.Start <= prevEnd {
+				return fmt.Errorf("trace %q node %d session %d: overlaps previous", t.Name, i, j)
+			}
+			if s.Start%t.Granularity != 0 || s.End%t.Granularity != 0 {
+				return fmt.Errorf("trace %q node %d session %d: boundaries not on %v granularity",
+					t.Name, i, j, t.Granularity)
+			}
+			if s.End > t.Duration {
+				return fmt.Errorf("trace %q node %d session %d: extends past horizon", t.Name, i, j)
+			}
+			prevEnd = s.End
+		}
+		if nt.Dead() && nt.Sessions[len(nt.Sessions)-1].End > nt.DeathAt {
+			return fmt.Errorf("trace %q node %d: session after death", t.Name, i)
+		}
+	}
+	return nil
+}
+
+// AliveAt counts the nodes up at time t.
+func (t *Trace) AliveAt(at time.Duration) int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].UpAt(at) {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanAlive samples the alive count at the given interval and returns
+// its average, i.e. the empirical stable system size.
+func (t *Trace) MeanAlive(every time.Duration) float64 {
+	if every <= 0 {
+		every = t.Granularity
+	}
+	sum, n := 0, 0
+	for at := time.Duration(0); at <= t.Duration; at += every {
+		sum += t.AliveAt(at)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// SessionStats returns the mean session length and mean downtime gap
+// across all nodes (diagnostic and Enroll-sampling helper).
+func (t *Trace) SessionStats() (meanSession, meanDown time.Duration) {
+	var sessSum, downSum time.Duration
+	sessN, downN := 0, 0
+	for i := range t.Nodes {
+		nt := &t.Nodes[i]
+		for j, s := range nt.Sessions {
+			sessSum += s.End - s.Start
+			sessN++
+			if j > 0 {
+				downSum += s.Start - nt.Sessions[j-1].End
+				downN++
+			}
+		}
+	}
+	if sessN > 0 {
+		meanSession = sessSum / time.Duration(sessN)
+	}
+	if downN > 0 {
+		meanDown = downSum / time.Duration(downN)
+	}
+	return meanSession, meanDown
+}
+
+// quantize rounds d up to the next multiple of g (minimum one g).
+func quantize(d, g time.Duration) time.Duration {
+	if d <= g {
+		return g
+	}
+	return (d + g - 1) / g * g
+}
+
+// genConfig is shared by the synthetic generators.
+type genConfig struct {
+	name        string
+	initial     int           // population at time zero
+	meanSession time.Duration // exponential
+	meanDown    time.Duration // exponential
+	birthRate   float64       // births per minute (0 = none)
+	deathRate   float64       // deaths per minute (0 = none)
+	granularity time.Duration
+	stableN     int
+}
+
+func generate(cfg genConfig, duration time.Duration, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	// Keep the horizon and every event on granularity boundaries.
+	duration -= duration % cfg.granularity
+	tr := &Trace{
+		Name:        cfg.name,
+		Granularity: cfg.granularity,
+		Duration:    duration,
+		StableN:     cfg.stableN,
+	}
+	expDur := func(mean time.Duration) time.Duration {
+		return quantize(time.Duration(rng.ExpFloat64()*float64(mean)), cfg.granularity)
+	}
+	// Pre-draw death times for the Poisson death process; deaths hit
+	// a uniformly random living node at each event.
+	var deathTimes []time.Duration
+	if cfg.deathRate > 0 {
+		at := time.Duration(0)
+		for {
+			at += time.Duration(rng.ExpFloat64() / cfg.deathRate * float64(time.Minute))
+			if at >= duration {
+				break
+			}
+			deathTimes = append(deathTimes, quantize(at, cfg.granularity))
+		}
+	}
+	// Birth times: initial population at 0, then Poisson arrivals.
+	var births []time.Duration
+	for i := 0; i < cfg.initial; i++ {
+		births = append(births, 0)
+	}
+	if cfg.birthRate > 0 {
+		at := time.Duration(0)
+		for {
+			at += time.Duration(rng.ExpFloat64() / cfg.birthRate * float64(time.Minute))
+			if at >= duration {
+				break
+			}
+			births = append(births, quantize(at, cfg.granularity))
+		}
+	}
+	// Build each node's session chain, then overlay deaths.
+	for _, born := range births {
+		nt := NodeTrace{Born: born}
+		at := born
+		// Randomize the initial phase for the time-zero population so
+		// the alive count starts near steady state.
+		up := true
+		if born == 0 {
+			frac := float64(cfg.meanSession) / float64(cfg.meanSession+cfg.meanDown)
+			up = rng.Float64() < frac
+			if !up {
+				at = quantize(time.Duration(rng.ExpFloat64()*float64(cfg.meanDown)), cfg.granularity)
+				nt.Born = at
+			}
+		}
+		for at < duration {
+			end := at + expDur(cfg.meanSession)
+			if end > duration {
+				end = duration
+			}
+			nt.Sessions = append(nt.Sessions, Session{Start: at, End: end})
+			at = end + expDur(cfg.meanDown)
+		}
+		if len(nt.Sessions) == 0 {
+			continue
+		}
+		tr.Nodes = append(tr.Nodes, nt)
+	}
+	// Apply deaths: each death event truncates a random not-yet-dead
+	// node whose life has started by then.
+	for _, dt := range deathTimes {
+		candidates := candidates(tr, dt)
+		if len(candidates) == 0 {
+			continue
+		}
+		idx := candidates[rng.Intn(len(candidates))]
+		truncate(&tr.Nodes[idx], dt)
+	}
+	// Drop nodes whose truncation removed every session.
+	kept := tr.Nodes[:0]
+	for _, nt := range tr.Nodes {
+		if len(nt.Sessions) > 0 {
+			kept = append(kept, nt)
+		}
+	}
+	tr.Nodes = kept
+	return tr
+}
+
+func candidates(tr *Trace, at time.Duration) []int {
+	var out []int
+	for i := range tr.Nodes {
+		nt := &tr.Nodes[i]
+		if nt.Dead() || nt.Born > at {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+func truncate(nt *NodeTrace, at time.Duration) {
+	nt.DeathAt = at
+	var kept []Session
+	for _, s := range nt.Sessions {
+		switch {
+		case s.End <= at:
+			kept = append(kept, s)
+		case s.Start < at:
+			kept = append(kept, Session{Start: s.Start, End: at})
+		}
+	}
+	nt.Sessions = kept
+	if len(kept) > 0 {
+		nt.Born = kept[0].Start
+	}
+}
+
+// GeneratePlanetLab synthesizes a PlanetLab-like trace: a fixed
+// population of long-lived, highly available hosts measured at
+// 1-second granularity (paper Section 5: N = 239, minimal deaths).
+// Mean session ≈ 20h and mean downtime ≈ 2h give ≈ 91% availability,
+// the low-churn Grid regime the PL experiments probe.
+func GeneratePlanetLab(n int, duration time.Duration, seed int64) *Trace {
+	return generate(genConfig{
+		name:        "PL",
+		initial:     n,
+		meanSession: 20 * time.Hour,
+		meanDown:    2 * time.Hour,
+		granularity: time.Second,
+		stableN:     n,
+	}, duration, seed)
+}
+
+// GenerateOvernet synthesizes an Overnet-like trace following the
+// published characteristics of Bhagwan et al. [2] as used in Section
+// 5.3: availability sampled every 20 minutes, ≈20%-per-hour churn
+// (mean session 5h), moderate per-node availability (≈75%), and
+// ongoing births/deaths such that the total population born over 48h
+// reaches ≈ 2.4× the stable alive size (OV: N = 550, Nlongterm = 1319).
+func GenerateOvernet(stableN int, duration time.Duration, seed int64) *Trace {
+	availability := 0.75
+	meanSession := 5 * time.Hour
+	meanDown := time.Duration(float64(meanSession) * (1 - availability) / availability)
+	initial := int(float64(stableN) / availability)
+	// Births sized so total-born(48h) ≈ 2.4 × stableN as in the paper.
+	birthsPerMin := 1.4 * float64(stableN) / (48 * 60)
+	return generate(genConfig{
+		name:        "OV",
+		initial:     initial,
+		meanSession: meanSession,
+		meanDown:    meanDown,
+		birthRate:   birthsPerMin,
+		deathRate:   birthsPerMin,
+		granularity: 20 * time.Minute,
+		stableN:     stableN,
+	}, duration, seed)
+}

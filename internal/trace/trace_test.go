@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGeneratePlanetLabShape(t *testing.T) {
+	tr := GeneratePlanetLab(239, 48*time.Hour, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("PL trace invalid: %v", err)
+	}
+	if tr.Name != "PL" || tr.StableN != 239 || tr.Granularity != time.Second {
+		t.Errorf("header = %q/%d/%v", tr.Name, tr.StableN, tr.Granularity)
+	}
+	if len(tr.Nodes) != 239 {
+		t.Errorf("population = %d, want 239 (no births)", len(tr.Nodes))
+	}
+	// High availability regime: mean alive ≈ 0.9 N.
+	mean := tr.MeanAlive(time.Hour)
+	if mean < 0.80*239 || mean > 239 {
+		t.Errorf("mean alive = %.1f, want ≈ 0.9·239", mean)
+	}
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Dead() {
+			t.Fatalf("PL node %d dies; PL should be death-free", i)
+		}
+	}
+}
+
+func TestGenerateOvernetShape(t *testing.T) {
+	tr := GenerateOvernet(550, 48*time.Hour, 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("OV trace invalid: %v", err)
+	}
+	if tr.Granularity != 20*time.Minute {
+		t.Errorf("granularity = %v, want 20m", tr.Granularity)
+	}
+	// Stable alive size within a constant factor of 550.
+	mean := tr.MeanAlive(time.Hour)
+	if mean < 350 || mean > 800 {
+		t.Errorf("mean alive = %.1f, want ≈ 550", mean)
+	}
+	// Long-term population well above the stable size (paper: 1319
+	// born over 48h for N=550).
+	if got := len(tr.Nodes); got < 900 || got > 1800 {
+		t.Errorf("Nlongterm = %d, want ≈ 1319", got)
+	}
+	// Some nodes must die.
+	deaths := 0
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Dead() {
+			deaths++
+		}
+	}
+	if deaths == 0 {
+		t.Error("OV trace has no deaths")
+	}
+	// Session boundaries on 20-minute marks.
+	for i, nt := range tr.Nodes[:10] {
+		for _, s := range nt.Sessions {
+			if s.Start%tr.Granularity != 0 || s.End%tr.Granularity != 0 {
+				t.Fatalf("node %d session %v not on granularity", i, s)
+			}
+		}
+	}
+}
+
+func TestNodeTraceQueries(t *testing.T) {
+	nt := NodeTrace{
+		Born: time.Hour,
+		Sessions: []Session{
+			{Start: time.Hour, End: 2 * time.Hour},
+			{Start: 3 * time.Hour, End: 5 * time.Hour},
+		},
+	}
+	tests := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{time.Hour, true},
+		{90 * time.Minute, true},
+		{2 * time.Hour, false}, // End exclusive
+		{150 * time.Minute, false},
+		{4 * time.Hour, true},
+		{6 * time.Hour, false},
+	}
+	for _, tt := range tests {
+		if got := nt.UpAt(tt.at); got != tt.want {
+			t.Errorf("UpAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	if up := nt.Uptime(); up != 3*time.Hour {
+		t.Errorf("Uptime = %v, want 3h", up)
+	}
+	// Lifetime from 1h to 6h horizon = 5h, 3h up.
+	if a := nt.Availability(6 * time.Hour); math.Abs(a-0.6) > 1e-12 {
+		t.Errorf("Availability = %v, want 0.6", a)
+	}
+}
+
+func TestAvailabilityWithDeath(t *testing.T) {
+	nt := NodeTrace{
+		Born:     0,
+		Sessions: []Session{{Start: 0, End: time.Hour}},
+		DeathAt:  2 * time.Hour,
+	}
+	// Life = 2h (dies), up 1h.
+	if a := nt.Availability(10 * time.Hour); math.Abs(a-0.5) > 1e-12 {
+		t.Errorf("Availability = %v, want 0.5", a)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	base := func() *Trace {
+		return &Trace{
+			Name:        "t",
+			Granularity: time.Minute,
+			Duration:    time.Hour,
+			StableN:     1,
+			Nodes: []NodeTrace{{
+				Born:     0,
+				Sessions: []Session{{Start: 0, End: 30 * time.Minute}},
+			}},
+		}
+	}
+	tests := []struct {
+		name string
+		mut  func(*Trace)
+	}{
+		{"zero duration", func(t *Trace) { t.Duration = 0 }},
+		{"zero granularity", func(t *Trace) { t.Granularity = 0 }},
+		{"zero stableN", func(t *Trace) { t.StableN = 0 }},
+		{"no sessions", func(t *Trace) { t.Nodes[0].Sessions = nil }},
+		{"born mismatch", func(t *Trace) { t.Nodes[0].Born = time.Minute }},
+		{"empty session", func(t *Trace) { t.Nodes[0].Sessions[0].End = 0 }},
+		{"off granularity", func(t *Trace) { t.Nodes[0].Sessions[0].End = 30*time.Minute + time.Second }},
+		{"past horizon", func(t *Trace) { t.Nodes[0].Sessions[0].End = 2 * time.Hour }},
+		{"session after death", func(t *Trace) { t.Nodes[0].DeathAt = time.Minute }},
+		{"overlap", func(t *Trace) {
+			t.Nodes[0].Sessions = append(t.Nodes[0].Sessions,
+				Session{Start: 20 * time.Minute, End: 40 * time.Minute})
+		}},
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base trace invalid: %v", err)
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := base()
+			tt.mut(tr)
+			if err := tr.Validate(); err == nil {
+				t.Error("Validate accepted corrupted trace")
+			}
+		})
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := GenerateOvernet(50, 6*time.Hour, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.StableN != orig.StableN ||
+		got.Granularity != orig.Granularity || got.Duration != orig.Duration {
+		t.Errorf("header mismatch: %+v vs %+v", got, orig)
+	}
+	if len(got.Nodes) != len(orig.Nodes) {
+		t.Fatalf("node count %d vs %d", len(got.Nodes), len(orig.Nodes))
+	}
+	for i := range got.Nodes {
+		a, b := got.Nodes[i], orig.Nodes[i]
+		if a.Born != b.Born || a.DeathAt != b.DeathAt || len(a.Sessions) != len(b.Sessions) {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Sessions {
+			if a.Sessions[j] != b.Sessions[j] {
+				t.Fatalf("node %d session %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"no header", "node 0 -\ns 0 60\n"},
+		{"short header", "avmon-trace-v1 x 60\n"},
+		{"bad header ints", "avmon-trace-v1 x a b c\n"},
+		{"duplicate header", "avmon-trace-v1 x 60 3600 5\navmon-trace-v1 x 60 3600 5\n"},
+		{"session before node", "avmon-trace-v1 x 60 3600 5\ns 0 60\n"},
+		{"bad node fields", "avmon-trace-v1 x 60 3600 5\nnode zero -\n"},
+		{"bad session fields", "avmon-trace-v1 x 60 3600 5\nnode 0 -\ns 0\n"},
+		{"unknown record", "avmon-trace-v1 x 60 3600 5\nblah\n"},
+		{"fails validation", "avmon-trace-v1 x 60 3600 5\nnode 0 -\ns 0 61\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tt.input))
+			if err == nil {
+				t.Error("Read accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	input := "# comment\n\navmon-trace-v1 x 60 3600 5\n# another\nnode 0 -\ns 0 60\n"
+	tr, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 1 {
+		t.Errorf("nodes = %d, want 1", len(tr.Nodes))
+	}
+}
+
+func TestErrBadFormatMatchable(t *testing.T) {
+	_, err := Read(strings.NewReader("garbage stuff\n"))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("error %v not matchable as ErrBadFormat", err)
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	tr := &Trace{
+		Name: "t", Granularity: time.Minute, Duration: 10 * time.Hour, StableN: 1,
+		Nodes: []NodeTrace{{
+			Born: 0,
+			Sessions: []Session{
+				{Start: 0, End: time.Hour},
+				{Start: 2 * time.Hour, End: 4 * time.Hour},
+			},
+		}},
+	}
+	ms, md := tr.SessionStats()
+	if ms != 90*time.Minute {
+		t.Errorf("mean session = %v, want 1h30m", ms)
+	}
+	if md != time.Hour {
+		t.Errorf("mean down = %v, want 1h", md)
+	}
+}

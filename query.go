@@ -1,0 +1,135 @@
+package avmon
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"avmon/internal/core"
+)
+
+// ErrQueryTimeout reports that a remote node did not answer within the
+// deadline.
+var ErrQueryTimeout = errors.New("avmon: query timed out")
+
+// AvailabilityReport is the result of a verified availability query
+// (the full Section 3.3 usage flow: ask the subject for l monitors,
+// verify each against the consistency condition, then ask the verified
+// monitors for their estimates).
+type AvailabilityReport struct {
+	// Subject is the node whose availability was queried.
+	Subject ID
+	// Monitors are the verified monitors that answered.
+	Monitors []ID
+	// Estimates are the per-monitor availability estimates, aligned
+	// with Monitors.
+	Estimates []float64
+	// Mean is the average of Estimates.
+	Mean float64
+}
+
+// QueryAvailability performs the end-to-end availability lookup
+// against a remote node: it requests l monitors from subject, verifies
+// the report (rejecting fabricated monitors), queries each verified
+// monitor for its estimate of subject, and aggregates the answers.
+// It blocks up to timeout.
+func (s *Service) QueryAvailability(subject ID, l int, timeout time.Duration) (*AvailabilityReport, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	reported, err := s.fetchReport(subject, l, deadline)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	scheme := s.node.Config().Scheme
+	s.mu.Unlock()
+	verified, err := core.VerifyReport(scheme, subject, reported, minNonZero(l, len(reported)))
+	if err != nil {
+		return nil, fmt.Errorf("avmon: monitor report for %v rejected: %w", subject, err)
+	}
+
+	report := &AvailabilityReport{Subject: subject}
+	var sum float64
+	for _, mon := range verified {
+		est, err := s.fetchEstimate(mon, subject, deadline)
+		if err != nil {
+			continue // unreachable or non-tracking monitors are skipped
+		}
+		report.Monitors = append(report.Monitors, mon)
+		report.Estimates = append(report.Estimates, est)
+		sum += est
+	}
+	if len(report.Monitors) == 0 {
+		return nil, fmt.Errorf("avmon: no verified monitor of %v answered: %w", subject, ErrQueryTimeout)
+	}
+	report.Mean = sum / float64(len(report.Monitors))
+	return report, nil
+}
+
+func minNonZero(l, n int) int {
+	if l <= 0 || l > n {
+		return n
+	}
+	return l
+}
+
+// fetchReport asks subject for count monitors and waits for the reply.
+func (s *Service) fetchReport(subject ID, count int, deadline time.Time) ([]ID, error) {
+	ch := make(chan *core.Message, 1)
+	s.armResponse(subject, core.MsgReportResp, ch)
+	defer s.disarmResponse()
+	s.mu.Lock()
+	s.node.QueryReport(subject, count)
+	s.mu.Unlock()
+	select {
+	case m := <-ch:
+		return m.View, nil
+	case <-time.After(time.Until(deadline)):
+		return nil, fmt.Errorf("avmon: monitor report from %v: %w", subject, ErrQueryTimeout)
+	}
+}
+
+// fetchEstimate asks one monitor for its estimate of subject.
+func (s *Service) fetchEstimate(monitor, subject ID, deadline time.Time) (float64, error) {
+	ch := make(chan *core.Message, 1)
+	s.armResponse(monitor, core.MsgAvailResp, ch)
+	defer s.disarmResponse()
+	s.mu.Lock()
+	s.node.QueryAvailability(monitor, subject)
+	s.mu.Unlock()
+	select {
+	case m := <-ch:
+		if !m.Known {
+			return 0, fmt.Errorf("avmon: %v does not track %v", monitor, subject)
+		}
+		return m.Avail, nil
+	case <-time.After(time.Until(deadline)):
+		return 0, fmt.Errorf("avmon: estimate from %v: %w", monitor, ErrQueryTimeout)
+	}
+}
+
+// armResponse points the node's response hook at a one-shot channel
+// filtered by sender and message type. Queries are serialized by
+// construction (each arms, sends, waits, disarms).
+func (s *Service) armResponse(from ID, msgType core.MsgType, ch chan *core.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.node.SetResponseHandler(func(sender ID, m *core.Message) {
+		if sender != from || m.Type != msgType {
+			return
+		}
+		select {
+		case ch <- m:
+		default:
+		}
+	})
+}
+
+func (s *Service) disarmResponse() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.node.SetResponseHandler(nil)
+}

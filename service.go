@@ -1,0 +1,200 @@
+package avmon
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"avmon/internal/core"
+	"avmon/internal/ids"
+	"avmon/internal/netstack"
+)
+
+// ServiceConfig parameterizes a real-network AVMON node.
+type ServiceConfig struct {
+	// Addr is this node's bind address and identity, "a.b.c.d:port".
+	Addr string
+	// Bootstrap is an existing node's address, empty for the first
+	// node of a deployment.
+	Bootstrap string
+	// N is the expected stable system size (the protocol parameter).
+	N int
+	// Options are the per-node protocol knobs. Hash defaults to MD5
+	// (the paper's choice) for real deployments.
+	Options NodeOptions
+	// Seed seeds the node's private randomness; 0 uses the clock.
+	Seed int64
+}
+
+// Service runs one AVMON node over UDP: a receive loop plus protocol
+// and monitoring tickers, all serialized onto the single-threaded
+// protocol core. Create with NewService, then Start; Stop shuts down
+// the socket and all goroutines.
+type Service struct {
+	cfg       ServiceConfig
+	node      *core.Node
+	transport *netstack.UDPTransport
+	bootstrap ids.ID
+
+	mu      sync.Mutex // serializes node access
+	started bool
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// NewService validates the configuration and binds the UDP socket.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("avmon: ServiceConfig.N must be positive")
+	}
+	id, err := ids.Parse(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("avmon: bad Addr: %w", err)
+	}
+	var bootstrap ids.ID
+	if cfg.Bootstrap != "" {
+		bootstrap, err = ids.Parse(cfg.Bootstrap)
+		if err != nil {
+			return nil, fmt.Errorf("avmon: bad Bootstrap: %w", err)
+		}
+	}
+	if cfg.Options.Hash == "" {
+		cfg.Options.Hash = HashMD5
+	}
+	scheme, err := NewSelector(cfg.Options.Hash, cfg.Options.kFor(cfg.N), cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	transport, err := netstack.Listen(id)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	node, err := core.NewNode(core.Config{
+		ID:            id,
+		Scheme:        scheme,
+		Transport:     transport,
+		Rand:          rand.New(rand.NewSource(seed)), // all node access is serialized by s.mu
+		CVS:           cfg.Options.cvsFor(cfg.N),
+		Period:        cfg.Options.Period,
+		MonitorPeriod: cfg.Options.MonitorPeriod,
+		Forgetful:     cfg.Options.Forgetful,
+		ForgetfulTau:  cfg.Options.ForgetfulTau,
+		ForgetfulC:    cfg.Options.ForgetfulC,
+		PR2:           cfg.Options.PR2,
+		HistoryStyle:  cfg.Options.HistoryStyle,
+	})
+	if err != nil {
+		_ = transport.Close()
+		return nil, err
+	}
+	return &Service{
+		cfg:       cfg,
+		node:      node,
+		transport: transport,
+		bootstrap: bootstrap,
+		stop:      make(chan struct{}),
+	}, nil
+}
+
+// ID returns the service's identity.
+func (s *Service) ID() ID { return s.node.ID() }
+
+// Start joins the system and launches the receive loop and protocol
+// tickers. It returns immediately.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("avmon: service already started")
+	}
+	s.started = true
+	s.node.Join(time.Now(), s.bootstrap)
+	s.mu.Unlock()
+
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		_ = s.transport.Serve(func(from ID, m *core.Message) {
+			s.mu.Lock()
+			s.node.Handle(from, m, time.Now())
+			s.mu.Unlock()
+		})
+	}()
+
+	cfg := s.node.Config()
+	s.runTicker(cfg.Period, s.node.Tick)
+	s.runTicker(cfg.MonitorPeriod, s.node.MonitorTick)
+	return nil
+}
+
+func (s *Service) runTicker(period time.Duration, fn func(time.Time)) {
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				s.mu.Lock()
+				fn(now)
+				s.mu.Unlock()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop leaves the system and shuts down all goroutines and the socket.
+// It is safe to call once.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	s.node.Leave(time.Now())
+	s.mu.Unlock()
+	close(s.stop)
+	_ = s.transport.Close()
+	s.done.Wait()
+}
+
+// Monitors returns this node's currently discovered pinging set.
+func (s *Service) Monitors() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.PS()
+}
+
+// Targets returns the nodes this node currently monitors.
+func (s *Service) Targets() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.TS()
+}
+
+// ReportMonitors applies the l-out-of-K reporting policy.
+func (s *Service) ReportMonitors(count int) []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.ReportMonitors(count)
+}
+
+// EstimateOf returns this node's availability estimate for a node it
+// monitors.
+func (s *Service) EstimateOf(target ID) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.EstimateOf(target)
+}
+
+// Stats returns a coarse protocol snapshot.
+func (s *Service) Stats() (psSize, tsSize, cvSize int, hashChecks uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.node.PS()), len(s.node.TS()), len(s.node.CV()), s.node.HashChecks()
+}
