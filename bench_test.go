@@ -14,9 +14,12 @@ import (
 
 // benchOptions is the reduced scale used by the benchmark harness:
 // the same code paths and workloads as the paper-scale runs, with a
-// shrunken horizon and sweep.
+// shrunken horizon and sweep. Parallelism is left at 0 so the worker
+// count tracks GOMAXPROCS: `go test -bench=. -cpu 1,4` contrasts the
+// serial and parallel engine on identical workloads (results are
+// byte-identical either way; only wall time changes).
 func benchOptions() experiments.Options {
-	return experiments.Options{Scale: 0.02, Seed: 1, Ns: []int{100, 200}}
+	return experiments.Options{Scale: 0.02, Seed: 1, Ns: []int{100, 200}, Parallelism: 0}
 }
 
 func benchExperiment(b *testing.B, id string) {

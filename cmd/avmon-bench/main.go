@@ -5,11 +5,14 @@
 //	avmon-bench -list
 //	avmon-bench -run figure3 -scale 1.0 -seed 1
 //	avmon-bench -run all -scale 0.1 > results.txt
+//	avmon-bench -run all -scale 1.0 -progress -parallel 8
 //
 // Scale 1.0 approximates the paper's methodology (hour-scale warm-up
 // and multi-hour measurement windows); smaller scales shrink the
 // simulated horizon proportionally, with floors that keep results
-// meaningful.
+// meaningful. Sweep points run concurrently (-parallel, default
+// GOMAXPROCS); output is byte-identical at any parallelism because
+// every point derives its own seed from -seed and its sweep position.
 package main
 
 import (
@@ -32,11 +35,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("avmon-bench", flag.ContinueOnError)
 	var (
-		list  = fs.Bool("list", false, "list experiment IDs and exit")
-		runID = fs.String("run", "", "experiment ID to run, or 'all'")
-		scale = fs.Float64("scale", 1.0, "duration scale factor (1.0 = paper-scale)")
-		seed  = fs.Int64("seed", 1, "simulation seed")
-		ns    = fs.String("ns", "", "comma-separated N sweep override (e.g. 100,500,1000,2000)")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		runID    = fs.String("run", "", "experiment ID to run, or 'all'")
+		scale    = fs.Float64("scale", 1.0, "duration scale factor (1.0 = paper-scale)")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		ns       = fs.String("ns", "", "comma-separated N sweep override (e.g. 100,500,1000,2000)")
+		parallel = fs.Int("parallel", 0, "concurrent sweep points per experiment (0 = GOMAXPROCS; results are identical at any setting)")
+		progress = fs.Bool("progress", false, "report sweep-point completion on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,7 +56,7 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -run (or -list)")
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
 	if *ns != "" {
 		for _, part := range strings.Split(*ns, ",") {
 			var n int
@@ -73,6 +78,12 @@ func run(args []string) error {
 	}
 	for _, id := range toRun {
 		start := time.Now()
+		if *progress {
+			id := id
+			opts.Progress = func(done, total int, label string) {
+				fmt.Fprintf(os.Stderr, "%s: %d/%d %s\n", id, done, total, label)
+			}
+		}
 		res, err := registry[id](opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)

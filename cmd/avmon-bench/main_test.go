@@ -37,3 +37,13 @@ func TestRunTinyExperiment(t *testing.T) {
 		t.Fatalf("tiny figure9 run failed: %v", err)
 	}
 }
+
+func TestRunParallelWithProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	args := []string{"-run", "figure3", "-scale", "0.01", "-ns", "50,60", "-parallel", "4", "-progress"}
+	if err := run(args); err != nil {
+		t.Fatalf("parallel figure3 run failed: %v", err)
+	}
+}

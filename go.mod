@@ -1,0 +1,3 @@
+module avmon
+
+go 1.22

@@ -27,13 +27,21 @@ func AblationReshuffle(o Options) (*Result, error) {
 		Title:  fmt.Sprintf("Coarse-view reshuffle ablation (STAT, N = %d)", n),
 		Header: []string{"variant", "discovered", "missed", "mean discovery (s)"},
 	}
-	for _, disable := range []bool{false, true} {
+	variants := []bool{false, true}
+	scens := make([]scenario, len(variants))
+	for i, disable := range variants {
 		s := synthScenario(o, modelSTAT, n, 45*time.Minute)
 		s.opts.DisableReshuffle = disable
-		out, err := run(s)
-		if err != nil {
-			return nil, err
-		}
+		scens[i] = s
+	}
+	// Paired seeds: both variants see the same realization, so the
+	// delta is the reshuffle step alone.
+	outs, err := runAllPaired(o, scens, func(int) int { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	for i, disable := range variants {
+		out := outs[i]
 		times, missed := out.firstDiscoveries(out.controlOrLateBorn())
 		var w stats.Welford
 		for _, d := range times {
@@ -67,59 +75,76 @@ func AblationRejoinWeight(o Options) (*Result, error) {
 			"Rejoin-weight ablation (flappy SYNTH: 3-minute downtimes, N = %d)", n),
 		Header: []string{"variant", "mean CV size", "mean indegree", "p99 indegree", "msgs/node/min"},
 	}
-	for _, full := range []bool{false, true} {
-		model, err := churn.NewSYNTH(churn.SynthConfig{
-			N:            n,
-			ChurnPerHour: 2.0, // mean session 30 min: nodes flap constantly
-			MeanDowntime: 3 * time.Minute,
+	variants := []bool{false, true}
+	rows := make([][]string, len(variants))
+	err := forEachPoint(o, len(variants),
+		func(i int) string {
+			return fmt.Sprintf("flappy SYNTH N=%d full=%v", n, variants[i])
+		},
+		func(vi int) error {
+			full := variants[vi]
+			model, err := churn.NewSYNTH(churn.SynthConfig{
+				N:            n,
+				ChurnPerHour: 2.0, // mean session 30 min: nodes flap constantly
+				MeanDowntime: 3 * time.Minute,
+			})
+			if err != nil {
+				return err
+			}
+			c, err := avmon.NewCluster(avmon.ClusterConfig{
+				N: n,
+				// Paired seeds (group 0 for both variants): identical
+				// flap pattern, so indegree/traffic deltas isolate
+				// the rejoin-weight rule.
+				Seed: deriveSeed(o.Seed, 0),
+				Options: avmon.NodeOptions{
+					RejoinFullWeight: full,
+				},
+			}, model)
+			if err != nil {
+				return err
+			}
+			horizon := o.scaled(3*time.Hour, 45*time.Minute)
+			c.Run(horizon)
+			// Aggregate message volume: the rejoin cascade costs ≈weight
+			// JOIN forwards, so capping the weight cuts system traffic.
+			var totalMsgs uint64
+			for i := 0; i < c.Size(); i++ {
+				totalMsgs += c.Stats(i).Traffic.MsgsOut
+			}
+			msgsPerNodeMin := float64(totalMsgs) / float64(c.Size()) / horizon.Minutes()
+			// Indegree: how many alive coarse views contain each node.
+			indegree := make(map[avmon.ID]int)
+			var alive []int
+			for i := 0; i < c.Size(); i++ {
+				if c.Stats(i).Alive {
+					alive = append(alive, i)
+				}
+			}
+			var cvSize stats.Welford
+			for _, idx := range alive {
+				cvSize.Add(float64(c.Stats(idx).CVSize))
+				for _, member := range c.CoarseViewOf(idx) {
+					indegree[member]++
+				}
+			}
+			var deg stats.CDF
+			for _, idx := range alive {
+				deg.Add(float64(indegree[c.IDOf(idx)]))
+			}
+			name := "min(cvs, downtime) (paper)"
+			if full {
+				name = "always cvs"
+			}
+			rows[vi] = []string{name, f2(cvSize.Mean()), f2(deg.Mean()),
+				f2(deg.Percentile(99)), f2(msgsPerNodeMin)}
+			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		c, err := avmon.NewCluster(avmon.ClusterConfig{
-			N:    n,
-			Seed: o.Seed,
-			Options: avmon.NodeOptions{
-				RejoinFullWeight: full,
-			},
-		}, model)
-		if err != nil {
-			return nil, err
-		}
-		horizon := o.scaled(3*time.Hour, 45*time.Minute)
-		c.Run(horizon)
-		// Aggregate message volume: the rejoin cascade costs ≈weight
-		// JOIN forwards, so capping the weight cuts system traffic.
-		var totalMsgs uint64
-		for i := 0; i < c.Size(); i++ {
-			totalMsgs += c.Stats(i).Traffic.MsgsOut
-		}
-		msgsPerNodeMin := float64(totalMsgs) / float64(c.Size()) / horizon.Minutes()
-		// Indegree: how many alive coarse views contain each node.
-		indegree := make(map[avmon.ID]int)
-		var alive []int
-		for i := 0; i < c.Size(); i++ {
-			if c.Stats(i).Alive {
-				alive = append(alive, i)
-			}
-		}
-		var cvSize stats.Welford
-		for _, idx := range alive {
-			cvSize.Add(float64(c.Stats(idx).CVSize))
-			for _, member := range c.CoarseViewOf(idx) {
-				indegree[member]++
-			}
-		}
-		var deg stats.CDF
-		for _, idx := range alive {
-			deg.Add(float64(indegree[c.IDOf(idx)]))
-		}
-		name := "min(cvs, downtime) (paper)"
-		if full {
-			name = "always cvs"
-		}
-		table.AddRow(name, f2(cvSize.Mean()), f2(deg.Mean()),
-			f2(deg.Percentile(99)), f2(msgsPerNodeMin))
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	return &Result{
 		ID:     "ablation-rejoin-weight",
@@ -142,20 +167,28 @@ func AblationForgetful(o Options) (*Result, error) {
 		c   float64
 		tau time.Duration
 	}
-	for _, p := range []params{
+	sweep := []params{
 		{1, 2 * time.Minute},  // paper default
 		{1, 10 * time.Minute}, // lazier threshold
 		{3, 2 * time.Minute},  // more persistent pinging
 		{0.25, 2 * time.Minute},
-	} {
+	}
+	scens := make([]scenario, len(sweep))
+	for i, p := range sweep {
 		s := synthScenario(o, modelSYNTH, n, 3*time.Hour)
 		s.opts.Forgetful = true
 		s.opts.ForgetfulC = p.c
 		s.opts.ForgetfulTau = p.tau
-		out, err := run(s)
-		if err != nil {
-			return nil, err
-		}
+		scens[i] = s
+	}
+	// Paired seeds: every (c, τ) setting observes the same churn, so
+	// the sweep isolates the parameters.
+	outs, err := runAllPaired(o, scens, func(int) int { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range sweep {
+		out := outs[i]
 		minutes := out.measure.Minutes()
 		var useless stats.Welford
 		for _, idx := range out.aliveIndexes() {

@@ -34,21 +34,33 @@ func Figure11(o Options) (*Result, error) {
 		Title:  "Average discovery time vs cvs (STAT)",
 		Header: []string{"N", "cvs", "mean discovery (s)", "stddev (s)"},
 	}
+	var scens []scenario
+	var cvsVals []int
 	for _, n := range cvsSweepNs(o) {
 		for _, mult := range cvsMultipliers {
-			cvs := cvsFor(mult, n)
 			s := synthScenario(o, modelSTAT, n, 45*time.Minute)
-			s.opts.CVS = cvs
-			out, err := run(s)
-			if err != nil {
-				return nil, err
-			}
+			s.opts.CVS = cvsFor(mult, n)
+			scens = append(scens, s)
+			cvsVals = append(cvsVals, s.opts.CVS)
+		}
+	}
+	// Points differ only in cvs within each N; pairing seeds per N
+	// isolates the coarse-view size.
+	outs, err := runAllPaired(o, scens, func(i int) int { return i / len(cvsMultipliers) })
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, n := range cvsSweepNs(o) {
+		for range cvsMultipliers {
+			out := outs[i]
 			times, _ := out.firstDiscoveries(out.controlOrLateBorn())
 			var w stats.Welford
 			for _, d := range times {
 				w.Add(d.Seconds())
 			}
-			table.AddRow(itoa(n), itoa(cvs), f2(w.Mean()), f2(w.Stddev()))
+			table.AddRow(itoa(n), itoa(cvsVals[i]), f2(w.Mean()), f2(w.Stddev()))
+			i++
 		}
 	}
 	return &Result{
@@ -70,15 +82,24 @@ func Figure12(o Options) (*Result, error) {
 	// The paper plots N = 500 and N = 2000 to show N has no influence
 	// at fixed cvs; keep the first and last sizes.
 	edge := []int{ns[0], ns[len(ns)-1]}
+	var scens []scenario
+	var cvsVals []int
 	for _, n := range edge {
 		for _, mult := range cvsMultipliers {
-			cvs := cvsFor(mult, n)
 			s := synthScenario(o, modelSTAT, n, 60*time.Minute)
-			s.opts.CVS = cvs
-			out, err := run(s)
-			if err != nil {
-				return nil, err
-			}
+			s.opts.CVS = cvsFor(mult, n)
+			scens = append(scens, s)
+			cvsVals = append(cvsVals, s.opts.CVS)
+		}
+	}
+	outs, err := runAllPaired(o, scens, func(i int) int { return i / len(cvsMultipliers) })
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, n := range edge {
+		for range cvsMultipliers {
+			out := outs[i]
 			alive := out.aliveIndexes()
 			var mem, comps stats.Welford
 			for _, v := range out.memoryEntries(alive) {
@@ -87,7 +108,8 @@ func Figure12(o Options) (*Result, error) {
 			for _, v := range out.compsPerSecond(alive) {
 				comps.Add(v)
 			}
-			table.AddRow(itoa(n), itoa(cvs), f2(mem.Mean()), f2(comps.Mean()))
+			table.AddRow(itoa(n), itoa(cvsVals[i]), f2(mem.Mean()), f2(comps.Mean()))
+			i++
 		}
 	}
 	note := &Table{

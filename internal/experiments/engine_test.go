@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func TestDeriveSeed(t *testing.T) {
+	seen := make(map[int64]bool)
+	for _, base := range []int64{0, 1, 7, -3} {
+		for idx := 0; idx < 500; idx++ {
+			s := deriveSeed(base, idx)
+			if seen[s] {
+				t.Fatalf("collision at base=%d idx=%d", base, idx)
+			}
+			seen[s] = true
+			if s2 := deriveSeed(base, idx); s2 != s {
+				t.Fatalf("deriveSeed not stable: %d vs %d", s, s2)
+			}
+		}
+	}
+}
+
+func TestParallelismResolution(t *testing.T) {
+	if got := (Options{}).parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (Options{Parallelism: 3}).parallelism(); got != 3 {
+		t.Errorf("explicit parallelism = %d, want 3", got)
+	}
+}
+
+func TestForEachPointRunsAllAndReportsProgress(t *testing.T) {
+	const total = 17
+	ran := make([]bool, total)
+	var events []string
+	lastDone := 0
+	o := Options{
+		Parallelism: 4,
+		Progress: func(done, tot int, label string) {
+			if tot != total {
+				t.Errorf("total = %d, want %d", tot, total)
+			}
+			if done != lastDone+1 {
+				t.Errorf("done = %d after %d; progress not serialized", done, lastDone)
+			}
+			lastDone = done
+			events = append(events, label)
+		},
+	}
+	err := forEachPoint(o, total,
+		func(i int) string { return fmt.Sprintf("point-%d", i) },
+		func(i int) error { ran[i] = true; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("point %d never ran", i)
+		}
+	}
+	if lastDone != total || len(events) != total {
+		t.Errorf("progress ended at %d with %d events, want %d", lastDone, len(events), total)
+	}
+}
+
+func TestForEachPointReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	fail37 := func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 7:
+			return errHigh
+		}
+		return nil
+	}
+	// Serial: point 7 is never dispatched after 3 fails, so the
+	// lowest-index failure is returned deterministically.
+	err := forEachPoint(Options{Parallelism: 1}, 10, func(int) string { return "" }, fail37)
+	if err != errLow {
+		t.Errorf("serial err = %v, want the lowest-index failure %v", err, errLow)
+	}
+	// Parallel: which in-flight points still ran can vary, but an
+	// error return is guaranteed.
+	err = forEachPoint(Options{Parallelism: 8}, 10, func(int) string { return "" }, fail37)
+	if err != errLow && err != errHigh {
+		t.Errorf("parallel err = %v, want a recorded failure", err)
+	}
+	if err := forEachPoint(Options{Parallelism: 8}, 0, nil, nil); err != nil {
+		t.Errorf("empty sweep errored: %v", err)
+	}
+}
+
+func TestForEachPointStopsDispatchAfterFailure(t *testing.T) {
+	errBoom := errors.New("boom")
+	ran := make([]bool, 10)
+	err := forEachPoint(Options{Parallelism: 1}, len(ran),
+		func(i int) string { return "" },
+		func(i int) error {
+			ran[i] = true
+			if i == 2 {
+				return errBoom
+			}
+			return nil
+		})
+	if err != errBoom {
+		t.Errorf("err = %v, want %v", err, errBoom)
+	}
+	// With one worker, the point after the failure may already be in
+	// the channel, but nothing beyond it may be dispatched.
+	for i := 4; i < len(ran); i++ {
+		if ran[i] {
+			t.Errorf("point %d dispatched after failure at point 2", i)
+		}
+	}
+}
+
+// TestRunAllPairedSharesRealization checks the common-random-numbers
+// contract: points in one seed group run against the same churn
+// realization, while ungrouped points get independent draws.
+func TestRunAllPairedSharesRealization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	o := Options{Scale: 0.01, Seed: 3, Parallelism: 2}.withDefaults()
+	s := synthScenario(o, modelSYNTH, 40, 0)
+	totalChecks := func(out *outcome) uint64 {
+		var sum uint64
+		for i := 0; i < out.c.Size(); i++ {
+			sum += out.c.Stats(i).HashChecks
+		}
+		return sum
+	}
+	paired, err := runAllPaired(o, []scenario{s, s}, func(int) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := totalChecks(paired[0]), totalChecks(paired[1]); a != b {
+		t.Errorf("paired points diverged: %d vs %d hash checks", a, b)
+	}
+	unpaired, err := runAll(o, []scenario{s, s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := totalChecks(unpaired[0]), totalChecks(unpaired[1]); a == b {
+		t.Errorf("unpaired points identical (%d checks); seeds not independent", a)
+	}
+}
+
+// TestParallelMatchesSerial is the engine's core guarantee: a parallel
+// run of an experiment produces output byte-identical to a serial run
+// with the same Options, because every sweep point derives its seed
+// from (Seed, point index) rather than from scheduling.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	for _, id := range []string{"table1", "figure3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			render := func(parallelism int) string {
+				o := tinyOptions()
+				o.Parallelism = parallelism
+				res, err := Registry()[id](o)
+				if err != nil {
+					t.Fatalf("%s at parallelism %d: %v", id, parallelism, err)
+				}
+				return res.String()
+			}
+			serial := render(1)
+			parallel := render(8)
+			if serial != parallel {
+				t.Errorf("%s: parallel output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}

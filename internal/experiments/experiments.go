@@ -8,6 +8,12 @@
 // methodology (hour-scale warm-up, multi-hour measurement; the paper
 // ran 48h wall-clock per point, which changes none of the reported
 // steady-state metrics), while small values give quick smoke runs.
+//
+// Each experiment's sweep points (N × scheme × seed combinations) are
+// independent simulations; the engine in engine.go fans them across
+// Options.Parallelism workers with per-point seed derivation, so
+// parallel and serial runs produce identical output. See EXPERIMENTS.md
+// for the paper-claim → generator map.
 package experiments
 
 import (
@@ -24,10 +30,21 @@ import (
 type Options struct {
 	// Scale multiplies the per-experiment durations (default 1.0).
 	Scale float64
-	// Seed drives all randomness (default 1).
+	// Seed drives all randomness (default 1). Each sweep point runs
+	// with a seed derived from Seed and the point's index, so results
+	// are a pure function of Options regardless of Parallelism.
 	Seed int64
 	// Ns overrides the system sizes swept by size-sweep experiments.
 	Ns []int
+	// Parallelism caps how many sweep points run concurrently
+	// (default GOMAXPROCS). 1 forces a serial run; results are
+	// identical either way.
+	Parallelism int
+	// Progress, when non-nil, receives a serialized callback each
+	// time a sweep point completes — useful for long paper-scale
+	// runs. It must not assume any completion order, and done reaches
+	// total only when the sweep succeeds.
+	Progress ProgressFunc
 }
 
 func (o Options) withDefaults() Options {

@@ -49,13 +49,21 @@ func Figure17(o Options) (*Result, error) {
 		Title:  fmt.Sprintf("Estimated/actual availability ratio, SYNTH N = %d", n),
 		Header: []string{"variant", "nodes", "mean ratio", "mean |rel err|", "max |rel err|"},
 	}
-	for _, forgetful := range []bool{true, false} {
+	variants := []bool{true, false}
+	scens := make([]scenario, len(variants))
+	for i, forgetful := range variants {
 		s := synthScenario(o, modelSYNTH, n, 4*time.Hour)
 		s.opts.Forgetful = forgetful
-		out, err := run(s)
-		if err != nil {
-			return nil, err
-		}
+		scens[i] = s
+	}
+	// Paired seeds: forgetful vs non-forgetful observe the same churn,
+	// so the accuracy comparison isolates the optimization.
+	outs, err := runAllPaired(o, scens, func(int) int { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	for i, forgetful := range variants {
+		out := outs[i]
 		var ratios stats.Welford
 		maxErr, meanErrSum := 0.0, 0.0
 		count := 0
@@ -97,15 +105,28 @@ func Figure18(o Options) (*Result, error) {
 		Title:  "Average useless monitoring pings per node per minute (SYNTH)",
 		Header: []string{"N", "Forgetful", "NON-Forgetful", "reduction factor"},
 	}
+	variants := []bool{true, false}
+	var scens []scenario
 	for _, n := range o.ns() {
-		var rates [2]float64
-		for i, forgetful := range []bool{true, false} {
+		for _, forgetful := range variants {
 			s := synthScenario(o, modelSYNTH, n, 4*time.Hour)
 			s.opts.Forgetful = forgetful
-			out, err := run(s)
-			if err != nil {
-				return nil, err
-			}
+			scens = append(scens, s)
+		}
+	}
+	// Points come in (forgetful, non-forgetful) pairs per N; pairing
+	// their seeds makes each reduction factor a same-realization
+	// comparison.
+	outs, err := runAllPaired(o, scens, func(i int) int { return i / 2 })
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, n := range o.ns() {
+		var rates [2]float64
+		for i := range variants {
+			out := outs[next]
+			next++
 			minutes := out.measure.Minutes()
 			var w stats.Welford
 			for _, idx := range out.aliveIndexes() {
@@ -146,15 +167,28 @@ func Figure19(o Options) (*Result, error) {
 	// For OV, measure bandwidth over the post-warm-up half of the run.
 	ovS.warmup = ovS.measure / 2
 	ovS.measure = ovS.measure / 2
-	for _, v := range []variant{
+	variants := []variant{
 		{fmt.Sprintf("STAT, N=%d", n), statS},
 		{fmt.Sprintf("STAT-PR2, N=%d", n), pr2S},
 		{"OV", ovS},
-	} {
-		out, err := run(v.s)
-		if err != nil {
-			return nil, err
+	}
+	scens := make([]scenario, len(variants))
+	for i, v := range variants {
+		scens[i] = v.s
+	}
+	// STAT and STAT-PR2 (points 0 and 1) are an A/B pair; OV is its
+	// own workload.
+	outs, err := runAllPaired(o, scens, func(i int) int {
+		if i == 2 {
+			return 1
 		}
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		out := outs[i]
 		secs := out.measure.Seconds()
 		var c stats.CDF
 		for _, idx := range out.aliveIndexes() {

@@ -37,15 +37,23 @@ func Figure3(o Options) (*Result, error) {
 		Title:  "Average discovery time of first monitor (minutes)",
 		Header: []string{"N", "STAT", "SYNTH", "SYNTH-BD"},
 	}
+	var scens []scenario
+	for _, n := range o.ns() {
+		for _, kind := range syntheticKinds {
+			scens = append(scens, synthScenario(o, kind, n, 45*time.Minute))
+		}
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, n := range o.ns() {
 		row := []string{itoa(n)}
-		for _, kind := range syntheticKinds {
-			out, err := run(synthScenario(o, kind, n, 45*time.Minute))
-			if err != nil {
-				return nil, err
-			}
-			times, _ := out.firstDiscoveries(out.controlOrLateBorn())
+		for range syntheticKinds {
+			times, _ := outs[i].firstDiscoveries(outs[i].controlOrLateBorn())
 			row = append(row, f2(meanDiscoveryMinutes(times)))
+			i++
 		}
 		table.AddRow(row...)
 	}
@@ -56,19 +64,15 @@ func Figure3(o Options) (*Result, error) {
 	}, nil
 }
 
-// discoveryCDF runs one scenario and returns the CDF of first-monitor
-// discovery times in seconds.
-func discoveryCDF(o Options, kind modelKind, n int) (*stats.CDF, int, error) {
-	out, err := run(synthScenario(o, kind, n, 45*time.Minute))
-	if err != nil {
-		return nil, 0, err
-	}
+// discoveryCDF extracts the CDF of first-monitor discovery times in
+// seconds from one finished run.
+func discoveryCDF(out *outcome) (*stats.CDF, int) {
 	times, missed := out.firstDiscoveries(out.controlOrLateBorn())
 	var c stats.CDF
 	for _, d := range times {
 		c.Add(d.Seconds())
 	}
-	return &c, missed, nil
+	return &c, missed
 }
 
 // Figure4 reproduces the CDF of STAT discovery times (N = 100, 2000).
@@ -89,11 +93,16 @@ func discoveryCDFResult(o Options, id string, kind modelKind) (*Result, error) {
 		ID:    id,
 		Title: fmt.Sprintf("CDF of first-monitor discovery time, %v", kind),
 	}
-	for _, n := range edge {
-		cdf, missed, err := discoveryCDF(o, kind, n)
-		if err != nil {
-			return nil, err
-		}
+	scens := make([]scenario, len(edge))
+	for i, n := range edge {
+		scens[i] = synthScenario(o, kind, n, 45*time.Minute)
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range edge {
+		cdf, missed := discoveryCDF(outs[i])
 		t := cdfTable(
 			fmt.Sprintf("%v, N = %d (%d samples, %d undiscovered)", kind, n, cdf.N(), missed),
 			"discovery time (s)", cdf, 13)
@@ -113,12 +122,17 @@ func Figure6(o Options) (*Result, error) {
 		Title:  fmt.Sprintf("Average time to discover first L monitors, N = %d (minutes)", n),
 		Header: []string{"L", "STAT", "SYNTH", "SYNTH-BD"},
 	}
+	scens := make([]scenario, len(syntheticKinds))
+	for i, kind := range syntheticKinds {
+		scens[i] = synthScenario(o, kind, n, 60*time.Minute)
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
 	perKind := make(map[modelKind][]float64)
-	for _, kind := range syntheticKinds {
-		out, err := run(synthScenario(o, kind, n, 60*time.Minute))
-		if err != nil {
-			return nil, err
-		}
+	for i, kind := range syntheticKinds {
+		out := outs[i]
 		group := out.controlOrLateBorn()
 		for l := 1; l <= 3; l++ {
 			var w stats.Welford
@@ -173,13 +187,22 @@ func Figure7(o Options) (*Result, error) {
 		Title:  "Average consistency-condition computations per second per node",
 		Header: []string{"N", "STAT", "STAT stddev", "SYNTH", "SYNTH stddev", "SYNTH-BD", "SYNTH-BD stddev"},
 	}
+	var scens []scenario
+	for _, n := range o.ns() {
+		for _, kind := range syntheticKinds {
+			scens = append(scens, synthScenario(o, kind, n, 60*time.Minute))
+		}
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, n := range o.ns() {
 		row := []string{itoa(n)}
-		for _, kind := range syntheticKinds {
-			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
-			if err != nil {
-				return nil, err
-			}
+		for range syntheticKinds {
+			out := outs[i]
+			i++
 			group := out.controlOrLateBorn()
 			if len(group) == 0 {
 				group = out.aliveIndexes()
@@ -205,12 +228,21 @@ func Figure8(o Options) (*Result, error) {
 	ns := o.ns()
 	edge := []int{ns[0], ns[len(ns)-1]}
 	res := &Result{ID: "figure8", Title: "CDF of per-node computations per second"}
+	var scens []scenario
 	for _, kind := range syntheticKinds {
 		for _, n := range edge {
-			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
-			if err != nil {
-				return nil, err
-			}
+			scens = append(scens, synthScenario(o, kind, n, 60*time.Minute))
+		}
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, kind := range syntheticKinds {
+		for _, n := range edge {
+			out := outs[i]
+			i++
 			var c stats.CDF
 			c.AddAll(out.compsPerSecond(out.aliveIndexes()))
 			res.Tables = append(res.Tables,
@@ -236,13 +268,22 @@ func Figure9(o Options) (*Result, error) {
 		Title:  "Average memory entries per node (|PS|+|TS|+|CV|)",
 		Header: []string{"N", "expected (2K+cvs)", "STAT", "SYNTH", "SYNTH-BD"},
 	}
+	var scens []scenario
+	for _, n := range o.ns() {
+		for _, kind := range syntheticKinds {
+			scens = append(scens, synthScenario(o, kind, n, 60*time.Minute))
+		}
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, n := range o.ns() {
 		var row []string
-		for _, kind := range syntheticKinds {
-			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
-			if err != nil {
-				return nil, err
-			}
+		for range syntheticKinds {
+			out := outs[i]
+			i++
 			if row == nil {
 				expected := 2*out.c.K() + out.c.CVS()
 				row = []string{itoa(n), itoa(expected)}
@@ -268,12 +309,21 @@ func Figure10(o Options) (*Result, error) {
 	ns := o.ns()
 	edge := []int{ns[0], ns[len(ns)-1]}
 	res := &Result{ID: "figure10", Title: "CDF of per-node memory entries"}
+	var scens []scenario
 	for _, kind := range syntheticKinds {
 		for _, n := range edge {
-			out, err := run(synthScenario(o, kind, n, 60*time.Minute))
-			if err != nil {
-				return nil, err
-			}
+			scens = append(scens, synthScenario(o, kind, n, 60*time.Minute))
+		}
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, kind := range syntheticKinds {
+		for _, n := range edge {
+			out := outs[i]
+			i++
 			var c stats.CDF
 			c.AddAll(out.memoryEntries(out.aliveIndexes()))
 			res.Tables = append(res.Tables,

@@ -58,20 +58,28 @@ func Table1(o Options) (*Result, error) {
 		"0 (immediate)",
 		f2(float64(b.HashChecks)/float64(n)))
 
-	for _, v := range []struct {
+	variants := []struct {
 		name    string
 		variant avmon.Variant
 	}{
 		{"AVMON generic, cvs=log N", avmon.VariantGeneric},
 		{"AVMON Optimal-MD", avmon.VariantMD},
 		{"AVMON Optimal-MDC", avmon.VariantMDC},
-	} {
+	}
+	scens := make([]scenario, len(variants))
+	for i, v := range variants {
 		s := synthScenario(o, modelSTAT, n, 45*time.Minute)
 		s.opts.Variant = v.variant
-		out, err := run(s)
-		if err != nil {
-			return nil, err
-		}
+		scens[i] = s
+	}
+	// One seed group: all three variants run against the same (static)
+	// realization, so M/D/C differences isolate the cvs policy.
+	outs, err := runAllPaired(o, scens, func(int) int { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		out := outs[i]
 		period := time.Minute
 		rounds := out.measure.Minutes()
 		var bytesPer, checksPer stats.Welford

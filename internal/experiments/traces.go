@@ -53,11 +53,17 @@ func (o *outcome) allBorn() []int {
 func Figure13(o Options) (*Result, error) {
 	o = o.withDefaults()
 	res := &Result{ID: "figure13", Title: "CDF of first-monitor discovery time, PL and OV"}
-	for _, tp := range tracePairs() {
-		out, err := run(traceScenario(o, tp.kind, tp.n))
-		if err != nil {
-			return nil, err
-		}
+	pairs := tracePairs()
+	scens := make([]scenario, len(pairs))
+	for i, tp := range pairs {
+		scens[i] = traceScenario(o, tp.kind, tp.n)
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	for i, tp := range pairs {
+		out := outs[i]
 		born := out.allBorn()
 		times, missed := out.firstDiscoveries(born)
 		var c stats.CDF
@@ -78,11 +84,17 @@ func Figure13(o Options) (*Result, error) {
 func Figure14(o Options) (*Result, error) {
 	o = o.withDefaults()
 	res := &Result{ID: "figure14", Title: "CDF of per-node memory entries, PL and OV"}
-	for _, tp := range tracePairs() {
-		out, err := run(traceScenario(o, tp.kind, tp.n))
-		if err != nil {
-			return nil, err
-		}
+	pairs := tracePairs()
+	scens := make([]scenario, len(pairs))
+	for i, tp := range pairs {
+		scens[i] = traceScenario(o, tp.kind, tp.n)
+	}
+	outs, err := runAll(o, scens)
+	if err != nil {
+		return nil, err
+	}
+	for i, tp := range pairs {
+		out := outs[i]
 		var c stats.CDF
 		c.AddAll(out.memoryEntries(out.aliveIndexes()))
 		expected := 2*out.c.K() + out.c.CVS()
@@ -103,12 +115,19 @@ func Figure15(o Options) (*Result, error) {
 	ns := o.ns()
 	n := ns[len(ns)-1]
 	res := &Result{ID: "figure15", Title: "Discovery under doubled birth/death churn"}
-	for _, kind := range []modelKind{modelSYNTHBD, modelSYNTHBD2} {
-		s := synthScenario(o, kind, n, 2*time.Hour)
-		out, err := run(s)
-		if err != nil {
-			return nil, err
-		}
+	kinds := []modelKind{modelSYNTHBD, modelSYNTHBD2}
+	scens := make([]scenario, len(kinds))
+	for i, kind := range kinds {
+		scens[i] = synthScenario(o, kind, n, 2*time.Hour)
+	}
+	// Paired seeds: BD vs BD2 differ only in birth/death rate; the
+	// shared realization isolates that doubling.
+	outs, err := runAllPaired(o, scens, func(int) int { return 0 })
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
+		out := outs[i]
 		born := out.controlOrLateBorn()
 		times, missed := out.firstDiscoveries(born)
 		var c stats.CDF
@@ -133,15 +152,26 @@ func Figure16(o Options) (*Result, error) {
 		Title:  "Average memory entries per node",
 		Header: []string{"N", "SYNTH-BD", "SYNTH-BD stddev", "SYNTH-BD2", "SYNTH-BD2 stddev", "increase %"},
 	}
+	kinds := []modelKind{modelSYNTHBD, modelSYNTHBD2}
+	var scens []scenario
+	for _, n := range o.ns() {
+		for _, kind := range kinds {
+			scens = append(scens, synthScenario(o, kind, n, 2*time.Hour))
+		}
+	}
+	// Points come in (BD, BD2) pairs per N; pairing their seeds makes
+	// each "increase %" a same-realization comparison.
+	outs, err := runAllPaired(o, scens, func(i int) int { return i / 2 })
+	if err != nil {
+		return nil, err
+	}
+	next := 0
 	for _, n := range o.ns() {
 		var means [2]float64
 		var stds [2]float64
-		for i, kind := range []modelKind{modelSYNTHBD, modelSYNTHBD2} {
-			s := synthScenario(o, kind, n, 2*time.Hour)
-			out, err := run(s)
-			if err != nil {
-				return nil, err
-			}
+		for i := range kinds {
+			out := outs[next]
+			next++
 			var w stats.Welford
 			for _, v := range out.memoryEntries(out.aliveIndexes()) {
 				w.Add(v)
