@@ -119,10 +119,36 @@ type NodeOptions struct {
 	// HistoryStyle selects availability history maintenance: "raw"
 	// (default), "recent:<dur>", or "aged:<alpha>".
 	HistoryStyle string
+	// NoHashMemo disables the consistency-condition memo that
+	// simulated clusters wrap around cryptographic hashes (MD5/SHA-1).
+	// The memo changes no result — only speed — so this knob exists
+	// for A/B determinism tests and microbenchmarks.
+	NoHashMemo bool
 	// DisableReshuffle and RejoinFullWeight are ablation knobs used by
 	// the evaluation; they switch off parts of the published protocol.
 	DisableReshuffle bool
 	RejoinFullWeight bool
+}
+
+// simScheme builds the selection scheme for a simulated cluster: the
+// paper's selector, wrapped in a pair-verdict memo when the hash is
+// cryptographic. A memo hit is several times cheaper than an MD5 or
+// SHA-1 digest but dearer than the fast mixer, so FastHasher runs
+// unwrapped. Memoization affects speed only, never verdicts; see
+// hashing.MemoSelector.
+func (o NodeOptions) simScheme(k, n int) (SelectionScheme, error) {
+	sel, err := hashing.NewSelector(o.Hash.hasher(), k, n)
+	if err != nil {
+		return nil, err
+	}
+	if o.NoHashMemo {
+		return sel, nil
+	}
+	switch o.Hash {
+	case HashMD5, HashSHA1:
+		return hashing.Memoize(sel, 0), nil
+	}
+	return sel, nil
 }
 
 // cvsFor resolves the effective coarse-view size for system size n.

@@ -45,6 +45,12 @@ func benchExperiment(b *testing.B, id string) {
 // memory/bandwidth, discovery time, computation).
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 
+// BenchmarkScale runs the large-N scale sweep at a reduced size (the
+// benchOptions Ns override replaces the 10k/30k/100k default), so
+// `-bench` covers the scale path like every table and figure. The
+// real sweep: go run ./cmd/avmon-bench -run scale
+func BenchmarkScale(b *testing.B) { benchExperiment(b, "scale") }
+
 // BenchmarkFigure3 regenerates Figure 3 (average discovery time of
 // first monitors vs N, STAT/SYNTH/SYNTH-BD).
 func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -20,19 +21,18 @@ import (
 	"avmon"
 )
 
-const (
-	n      = 250
-	degree = 6 // max children per parent
-)
+const degree = 6 // max children per parent
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 250, 5*time.Hour, 48); err != nil {
 		fmt.Fprintln(os.Stderr, "multicast:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run warms an n-node heterogeneous system for warmup, builds the two
+// trees, and samples connectivity every 10 minutes samples times.
+func run(w io.Writer, n int, warmup time.Duration, samples int) error {
 	// A heterogeneous population: stable hosts make good interior tree
 	// nodes, flaky ones should be leaves.
 	model, err := avmon.NewMixedModel(n/2, n/2)
@@ -43,8 +43,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("warming up: 5 simulated hours of monitoring under churn...")
-	cluster.Run(5 * time.Hour)
+	fmt.Fprintf(w, "warming up: %v of monitoring under churn...\n", warmup)
+	cluster.Run(warmup)
 
 	estimates := make(map[int]float64, cluster.Size())
 	var members []int
@@ -78,20 +78,21 @@ func run() error {
 	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 	random := buildTree(shuffled, root)
 
-	fmt.Printf("built two %d-member trees rooted at node %d (max degree %d)\n\n",
+	fmt.Fprintf(w, "built two %d-member trees rooted at node %d (max degree %d)\n\n",
 		len(members), root, degree)
 
-	// Sample connectivity every 10 minutes for 8 hours.
-	samples, smartOK, randomOK := 0, 0.0, 0.0
-	for t := 0; t < 48; t++ {
+	// Sample connectivity every 10 minutes.
+	count, smartOK, randomOK := 0, 0.0, 0.0
+	for t := 0; t < samples; t++ {
 		cluster.Run(10 * time.Minute)
-		samples++
+		count++
 		smartOK += deliveryRatio(cluster, smart, root)
 		randomOK += deliveryRatio(cluster, random, root)
 	}
-	fmt.Printf("average delivery ratio over %d samples (8 simulated hours):\n", samples)
-	fmt.Printf("  availability-aware parents: %.3f\n", smartOK/float64(samples))
-	fmt.Printf("  random parents:             %.3f\n", randomOK/float64(samples))
+	fmt.Fprintf(w, "average delivery ratio over %d samples (%v simulated):\n",
+		count, time.Duration(samples)*10*time.Minute)
+	fmt.Fprintf(w, "  availability-aware parents: %.3f\n", smartOK/float64(count))
+	fmt.Fprintf(w, "  random parents:             %.3f\n", randomOK/float64(count))
 	return nil
 }
 

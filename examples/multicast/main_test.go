@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMulticastSmoke runs the example against a tiny churned cluster.
+func TestMulticastSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 60, 45*time.Minute, 6); err != nil {
+		t.Fatalf("multicast run failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"built two", "availability-aware parents", "random parents"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"time"
@@ -19,23 +20,28 @@ import (
 	"avmon"
 )
 
-const n = 250
-
 func main() {
-	if err := run(); err != nil {
+	err := run(os.Stdout, 250, []float64{0, 0.10, 0.20}, 4*time.Hour, 30*time.Minute)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "overreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fmt.Println("overreporting attack sweep (SYNTH churn, 4 simulated hours each):")
-	for _, frac := range []float64{0, 0.10, 0.20} {
-		affected, measured, err := attackRun(frac)
+// run sweeps the given overreporting fractions over an n-node churned
+// system (attackHorizon each), then demonstrates third-party
+// verification on a static system run for verifyHorizon.
+func run(w io.Writer, n int, fracs []float64, attackHorizon, verifyHorizon time.Duration) error {
+	fmt.Fprintf(w, "overreporting attack sweep (SYNTH churn, %v each):\n", attackHorizon)
+	for _, frac := range fracs {
+		affected, measured, err := attackRun(n, frac, attackHorizon)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %4.0f%% dishonest monitors → %d of %d nodes mis-measured by > 0.2 (%.1f%%)\n",
+		if measured == 0 {
+			return fmt.Errorf("no measured nodes at fraction %.2f", frac)
+		}
+		fmt.Fprintf(w, "  %4.0f%% dishonest monitors → %d of %d nodes mis-measured by > 0.2 (%.1f%%)\n",
 			frac*100, affected, measured, 100*float64(affected)/float64(measured))
 	}
 
@@ -44,7 +50,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cluster.Run(30 * time.Minute)
+	cluster.Run(verifyHorizon)
 	subject := 0
 	honest := cluster.ReportMonitors(subject, 3)
 	// Find a node that is NOT a monitor of the subject — the colluder.
@@ -58,19 +64,18 @@ func run() error {
 	}
 	forged := append([]avmon.ID{colluder}, honest...)
 	_, err = avmon.VerifyReport(cluster.Scheme(), cluster.IDOf(subject), forged, 1)
-	fmt.Printf("\nverifiability check: node %v claims colluder %v monitors it\n",
+	fmt.Fprintf(w, "\nverifiability check: node %v claims colluder %v monitors it\n",
 		cluster.IDOf(subject), colluder)
-	if err != nil {
-		fmt.Printf("  third-party verification rejects the report: %v\n", err)
-	} else {
-		fmt.Println("  ERROR: forged report was accepted")
+	if err == nil {
+		return fmt.Errorf("forged report with colluder %v was accepted", colluder)
 	}
+	fmt.Fprintf(w, "  third-party verification rejects the report: %v\n", err)
 	return nil
 }
 
 // attackRun simulates a churned system with the given fraction of
 // overreporting monitors and counts mis-measured nodes.
-func attackRun(frac float64) (affected, measured int, err error) {
+func attackRun(n int, frac float64, horizon time.Duration) (affected, measured int, err error) {
 	model, err := avmon.NewSYNTHModel(n, 0.3)
 	if err != nil {
 		return 0, 0, err
@@ -83,7 +88,7 @@ func attackRun(frac float64) (affected, measured int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	cluster.Run(4 * time.Hour)
+	cluster.Run(horizon)
 	for i := 0; i < cluster.Size(); i++ {
 		st := cluster.Stats(i)
 		if !st.Alive || st.TrueAvailability() <= 0 {

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOverreportSmoke runs the attack sweep and the verifiability
+// demonstration against tiny clusters.
+func TestOverreportSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, 60, []float64{0, 0.20}, time.Hour, 20*time.Minute)
+	if err != nil {
+		t.Fatalf("overreport run failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"overreporting attack sweep", "verifiability check", "rejects the report"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -12,16 +13,17 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 200, 30*time.Minute); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	const n = 200
-
-	// A static 200-node system with the paper's default parameters:
+// run simulates a static n-node system for the given horizon and
+// walks through discovery, verified reporting, and a forged report.
+// Output goes to w; tests drive it with a tiny cluster.
+func run(w io.Writer, n int, horizon time.Duration) error {
+	// A static system with the paper's default parameters:
 	// K = log2(N) monitors per node, coarse views of 4·N^(1/4).
 	cluster, err := avmon.NewCluster(avmon.ClusterConfig{
 		N:    n,
@@ -30,19 +32,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("AVMON quickstart: N=%d, K=%d, cvs=%d\n", n, cluster.K(), cluster.CVS())
-	fmt.Printf("analytical E[discovery] = %.1f protocol periods\n\n",
+	fmt.Fprintf(w, "AVMON quickstart: N=%d, K=%d, cvs=%d\n", n, cluster.K(), cluster.CVS())
+	fmt.Fprintf(w, "analytical E[discovery] = %.1f protocol periods\n\n",
 		avmon.ExpectedDiscoveryTime(cluster.CVS(), n))
 
-	// Simulate half an hour of protocol time (30 protocol periods).
-	cluster.Run(30 * time.Minute)
+	cluster.Run(horizon)
 
 	// Who monitors node 0?
 	subject := 0
 	monitors := cluster.MonitorsOf(subject)
-	fmt.Printf("node %v discovered %d monitors:\n", cluster.IDOf(subject), len(monitors))
+	fmt.Fprintf(w, "node %v discovered %d monitors:\n", cluster.IDOf(subject), len(monitors))
 	for _, m := range monitors {
-		fmt.Printf("  %v\n", m)
+		fmt.Fprintf(w, "  %v\n", m)
 	}
 
 	// The "l out of K" reporting policy: ask node 0 for 3 monitors and
@@ -53,22 +54,30 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("report failed verification: %w", err)
 	}
-	fmt.Printf("\nreported %d monitors; all verified: %v\n", len(report), verified)
+	fmt.Fprintf(w, "\nreported %d monitors; all verified: %v\n", len(report), verified)
 
-	// A forged report is rejected.
-	forged := append([]avmon.ID{cluster.IDOf(150)}, report...)
+	// A forged report is rejected. Pick a node that provably fails the
+	// consistency condition for the subject, so the forgery is never
+	// coincidentally genuine.
+	var colluder avmon.ID
+	for i := 1; i < n; i++ {
+		if id := cluster.IDOf(i); !cluster.Scheme().Related(id, cluster.IDOf(subject)) {
+			colluder = id
+			break
+		}
+	}
+	forged := append([]avmon.ID{colluder}, report...)
 	if _, err := avmon.VerifyReport(cluster.Scheme(), cluster.IDOf(subject), forged, 1); err != nil {
-		fmt.Printf("forged report rejected as expected: %v\n", err)
+		fmt.Fprintf(w, "forged report rejected as expected: %v\n", err)
 	} else {
-		// Node 150 might coincidentally be a real monitor; note it.
-		fmt.Println("note: the forged entry happened to be a genuine monitor")
+		return fmt.Errorf("forged report with colluder %v was accepted", colluder)
 	}
 
 	// Ask a monitor for node 0's measured availability.
 	if len(verified) > 0 {
 		if monIdx, ok := cluster.IndexOf(verified[0]); ok {
 			if est, known := cluster.EstimateBy(monIdx, cluster.IDOf(subject)); known {
-				fmt.Printf("\nmonitor %v estimates node %v availability at %.2f\n",
+				fmt.Fprintf(w, "\nmonitor %v estimates node %v availability at %.2f\n",
 					verified[0], cluster.IDOf(subject), est)
 			}
 		}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuickstartSmoke runs the example end to end against a tiny
+// in-process cluster, so `go test ./...` compiles and exercises it.
+func TestQuickstartSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 80, 20*time.Minute); err != nil {
+		t.Fatalf("quickstart run failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"AVMON quickstart", "discovered", "forged report rejected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQuickstartOutputDiscarded keeps the io.Writer plumbing honest.
+func TestQuickstartOutputDiscarded(t *testing.T) {
+	if err := run(io.Discard, 80, 20*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}

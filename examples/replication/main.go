@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -20,19 +21,19 @@ import (
 	"avmon"
 )
 
-const (
-	n        = 300
-	replicas = 5
-)
+const replicas = 5
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 300, 6*time.Hour, 72); err != nil {
 		fmt.Fprintln(os.Stderr, "replication:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run warms an n-node heterogeneous system for warmup, places the two
+// replica sets, and samples their availability every 10 minutes
+// samples times.
+func run(w io.Writer, n int, warmup time.Duration, samples int) error {
 	// Half the population is stable, half flaps between up and down —
 	// the regime where availability history predicts the future.
 	model, err := avmon.NewMixedModel(n/2, n/2)
@@ -46,8 +47,8 @@ func run() error {
 
 	// Let AVMON discover the overlay and accumulate availability
 	// history through several churn cycles.
-	fmt.Println("warming up: 6 simulated hours of monitoring under churn...")
-	cluster.Run(6 * time.Hour)
+	fmt.Fprintf(w, "warming up: %v of monitoring under churn...\n", warmup)
+	cluster.Run(warmup)
 
 	// Estimate each node's availability by averaging over its
 	// discovered monitors (the application-level read path).
@@ -77,14 +78,14 @@ func run() error {
 		random = append(random, candidates[i].idx)
 	}
 
-	fmt.Printf("placed %d replicas by estimated availability: %v\n", replicas, smart)
-	fmt.Printf("placed %d replicas uniformly at random:       %v\n", replicas, random)
+	fmt.Fprintf(w, "placed %d replicas by estimated availability: %v\n", replicas, smart)
+	fmt.Fprintf(w, "placed %d replicas uniformly at random:       %v\n", replicas, random)
 
-	// Sample both replica sets every 10 minutes for 12 hours.
-	samples, smartUp, randomUp, smartAvail, randomAvail := 0, 0, 0, 0, 0
-	for t := 0; t < 72; t++ {
+	// Sample both replica sets every 10 minutes.
+	count, smartUp, randomUp, smartAvail, randomAvail := 0, 0, 0, 0, 0
+	for t := 0; t < samples; t++ {
 		cluster.Run(10 * time.Minute)
-		samples++
+		count++
 		if c := aliveCount(cluster, smart); c > 0 {
 			smartAvail++
 			smartUp += c
@@ -94,13 +95,14 @@ func run() error {
 			randomUp += c
 		}
 	}
-	fmt.Printf("\nover %d samples spanning 12 simulated hours:\n", samples)
-	fmt.Printf("  availability-aware: file reachable %5.1f%% of the time, avg %.1f/%d replicas up\n",
-		100*float64(smartAvail)/float64(samples), float64(smartUp)/float64(samples), replicas)
-	fmt.Printf("  random placement:   file reachable %5.1f%% of the time, avg %.1f/%d replicas up\n",
-		100*float64(randomAvail)/float64(samples), float64(randomUp)/float64(samples), replicas)
+	fmt.Fprintf(w, "\nover %d samples spanning %v simulated:\n",
+		count, time.Duration(samples)*10*time.Minute)
+	fmt.Fprintf(w, "  availability-aware: file reachable %5.1f%% of the time, avg %.1f/%d replicas up\n",
+		100*float64(smartAvail)/float64(count), float64(smartUp)/float64(count), replicas)
+	fmt.Fprintf(w, "  random placement:   file reachable %5.1f%% of the time, avg %.1f/%d replicas up\n",
+		100*float64(randomAvail)/float64(count), float64(randomUp)/float64(count), replicas)
 	if smartUp <= randomUp {
-		fmt.Println("\nnote: random won this seed; availability-aware placement wins on average")
+		fmt.Fprintln(w, "\nnote: random won this seed; availability-aware placement wins on average")
 	}
 	return nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplicationSmoke runs the example against a tiny churned cluster.
+func TestReplicationSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 60, 45*time.Minute, 8); err != nil {
+		t.Fatalf("replication run failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"placed 5 replicas", "availability-aware", "random placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -38,6 +38,12 @@ type Node struct {
 
 	hashChecks uint64 // consistency-condition evaluations performed
 
+	// Scratch buffers for the per-period discovery sweep
+	// (handleCVResp), reused across rounds so the hot path is
+	// allocation-free at steady state. Valid only within one sweep.
+	sweepA, sweepB []ids.ID
+	aInB, bInA     []bool
+
 	// onResponse, when set via SetResponseHandler, receives
 	// REPORT-RESP and AVAIL-RESP messages for application queries.
 	onResponse func(from ids.ID, m *Message)
@@ -251,51 +257,123 @@ func (n *Node) Tick(now time.Time) {
 	}
 }
 
+// resizeFalse returns s resized to n elements, all false, reusing its
+// capacity when possible.
+func resizeFalse(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// appendUniqueID appends id to dst unless it is None or already
+// present (linear scan; sweep lists stay below ~100 entries).
+func appendUniqueID(dst []ids.ID, id ids.ID) []ids.ID {
+	if id.IsNone() {
+		return dst
+	}
+	for _, e := range dst {
+		if e == id {
+			return dst
+		}
+	}
+	return append(dst, id)
+}
+
 // handleCVResp performs the consistency-condition sweep over
 // ({CV(x) ∪ {x,w}} × {CV(w) ∪ {x,w}}) in both orders, notifies
 // matched pairs, and reshuffles the coarse view (Figure 2).
+//
+// The sweep is the simulation's hottest loop — Θ(cvs²) hash checks
+// per node per period — so it runs over node-owned scratch buffers
+// with precomputed cross-membership flags instead of allocating pair
+// sets: an ordered pair whose mirror iteration will emit it is skipped
+// by the flags, which dedupes exactly the a∩b overlap the previous
+// per-pair map caught, at zero allocation.
 func (n *Node) handleCVResp(w ids.ID, fetched []ids.ID, now time.Time) {
-	a := append(n.cv.snapshot(), n.id, w)
-	b := make([]ids.ID, 0, len(fetched)+2)
-	b = append(b, fetched...)
-	b = append(b, n.id, w)
+	// The sweep and the linear dedup below are quadratic in the list
+	// length, and the wire layer accepts views up to 4096 entries —
+	// a cheap CPU-amplification vector for forged CV-RESPs. Cap what
+	// a peer can make us chew on at a bound no honest configuration
+	// reaches: cvs = 4·N^(1/4) stays under 1024 until N ≈ 4·10^9,
+	// even for peers running far larger N estimates than ours.
+	const maxSweepFetched = 1024
+	if len(fetched) > maxSweepFetched {
+		fetched = fetched[:maxSweepFetched]
+	}
+	// Build the two deduplicated sweep lists in reusable scratch.
+	a := n.cv.appendTo(n.sweepA[:0])
+	a = appendUniqueID(a, n.id)
+	a = appendUniqueID(a, w)
+	b := n.sweepB[:0]
+	for _, id := range fetched {
+		b = appendUniqueID(b, id)
+	}
+	b = appendUniqueID(b, n.id)
+	b = appendUniqueID(b, w)
+	n.sweepA, n.sweepB = a, b
 
-	seen := make(map[[2]ids.ID]struct{}, 4)
-	check := func(u, v ids.ID) {
-		if u == v || u.IsNone() || v.IsNone() {
-			return
-		}
-		key := [2]ids.ID{u, v}
-		if _, dup := seen[key]; dup {
-			return // a∩b overlap would double-check the same pair
-		}
-		seen[key] = struct{}{}
-		n.hashChecks++
-		if !n.cfg.Scheme.Related(u, v) {
-			return
-		}
-		// u ∈ PS(v): tell u (it gains a target) and v (a monitor).
-		// When the discoverer is one of the pair, the paper's "inform
-		// both" is a local operation.
-		for _, dst := range [2]ids.ID{u, v} {
-			if dst == n.id {
-				n.handleNotify(u, v, now)
-			} else {
-				n.send(dst, &Message{Type: MsgNotify, U: u, V: v})
+	// Cross-membership flags: aInB[i] ⇔ a[i] ∈ b, bInA[j] ⇔ b[j] ∈ a.
+	aInB := resizeFalse(n.aInB, len(a))
+	bInA := resizeFalse(n.bInA, len(b))
+	for i, u := range a {
+		for j, v := range b {
+			if u == v {
+				aInB[i] = true
+				bInA[j] = true
 			}
 		}
 	}
-	for _, u := range a {
-		for _, v := range b {
-			check(u, v)
-			check(v, u)
+	n.aInB, n.bInA = aInB, bInA
+
+	// The pair loop calls Related directly (no per-pair closure): at
+	// Θ(cvs²) pairs per response this is the simulation's hot loop.
+	scheme := n.cfg.Scheme
+	checks := uint64(0)
+	for i, u := range a {
+		for j, v := range b {
+			if u == v {
+				continue
+			}
+			checks++
+			if scheme.Related(u, v) {
+				n.notifyMatch(u, v, now)
+			}
+			// The reverse pair (v, u) is also generated — as a forward
+			// pair — by the mirrored iteration (v from a, u from b)
+			// exactly when v ∈ a and u ∈ b; emit it here only when
+			// that iteration does not exist.
+			if !(bInA[j] && aInB[i]) {
+				checks++
+				if scheme.Related(v, u) {
+					n.notifyMatch(v, u, now)
+				}
+			}
 		}
 	}
+	n.hashChecks += checks
 	if n.cfg.DisableReshuffle {
 		n.cv.add(w) // only grow into free space; never re-randomize
 		return
 	}
 	n.cv.reshuffle(fetched, w, n.id, n.cfg.Rand)
+}
+
+// notifyMatch handles a sweep hit: u ∈ PS(v). Tell u (it gains a
+// target) and v (a monitor); when the discoverer is one of the pair,
+// the paper's "inform both" is a local operation.
+func (n *Node) notifyMatch(u, v ids.ID, now time.Time) {
+	for _, dst := range [2]ids.ID{u, v} {
+		if dst == n.id {
+			n.handleNotify(u, v, now)
+		} else {
+			n.send(dst, &Message{Type: MsgNotify, U: u, V: v})
+		}
+	}
 }
 
 // handleNotify verifies and applies a NOTIFY(u, v) at this node

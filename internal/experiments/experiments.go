@@ -122,11 +122,15 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// Result is one experiment's full output.
+// Result is one experiment's full output. Artifacts holds optional
+// machine-readable outputs keyed by file name (e.g. BENCH_scale.json);
+// cmd/avmon-bench writes them next to the rendered tables so future
+// runs can track the perf trajectory.
 type Result struct {
-	ID     string
-	Title  string
-	Tables []*Table
+	ID        string
+	Title     string
+	Tables    []*Table
+	Artifacts map[string][]byte
 }
 
 // String renders all tables.
@@ -148,6 +152,7 @@ type Runner func(Options) (*Result, error)
 func Registry() map[string]Runner {
 	return map[string]Runner{
 		"table1":   Table1,
+		"scale":    Scale,
 		"figure3":  Figure3,
 		"figure4":  Figure4,
 		"figure5":  Figure5,

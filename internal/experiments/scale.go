@@ -1,0 +1,237 @@
+package experiments
+
+// The large-N scale path (not in the paper, which tops out at
+// N = 2000): AVMON's headline claim is that the consistency condition
+// H(y, x) ≤ K/N needs no coordination and therefore scales with N.
+// This experiment exercises the claim directly, sweeping N into the
+// 10^5 regime and recording both the protocol metrics the paper
+// reports (discovery time, per-node bandwidth) and the simulator's
+// own cost of opening that regime (events, wall-clock, memory), so
+// future PRs can track the perf trajectory via BENCH_scale.json.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"avmon/internal/stats"
+)
+
+// ScaleArtifactName is the machine-readable output written by the
+// scale experiment (via Result.Artifacts / avmon-bench).
+//
+// The experiment is registered like every table and figure but is
+// excluded from `avmon-bench -run all`: its N sweep is fixed (Scale
+// only shrinks horizons), so it costs minutes and gigabytes that the
+// paper-reproduction flow should not pay implicitly.
+const ScaleArtifactName = "BENCH_scale.json"
+
+// scaleDefaultNs is swept when Options.Ns is not set: the paper's top
+// size, then 1.5 orders of magnitude beyond it.
+var scaleDefaultNs = []int{10_000, 30_000, 100_000}
+
+// ScalePoint is one sweep point of the scale experiment as serialized
+// into BENCH_scale.json. Protocol metrics are deterministic functions
+// of (Options, N); host metrics (Wall*, RSS*, Heap*) describe the
+// machine that produced the file and vary run to run.
+type ScalePoint struct {
+	N   int `json:"n"`
+	K   int `json:"k"`
+	CVS int `json:"cvs"`
+
+	ControlSize       int     `json:"control_size"`
+	Discovered        int     `json:"discovered"`
+	MeanDiscoveryMin  float64 `json:"mean_discovery_minutes"`
+	P93DiscoverySec   float64 `json:"p93_discovery_seconds"`
+	BytesPerNodeSec   float64 `json:"bytes_out_per_node_per_second"`
+	ChecksPerNodeSec  float64 `json:"hash_checks_per_node_per_second"`
+	MemoryEntriesMean float64 `json:"memory_entries_mean"`
+	Events            uint64  `json:"events"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	HeapAllocMB float64 `json:"heap_alloc_mb"`
+	PeakRSSMB   float64 `json:"peak_rss_mb"`
+}
+
+// scaleArtifact is the BENCH_scale.json envelope.
+type scaleArtifact struct {
+	Experiment string       `json:"experiment"`
+	Seed       int64        `json:"seed"`
+	Scale      float64      `json:"scale"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// Scale sweeps a static system to N = 100,000 (by default) and
+// reports discovery time, per-node bandwidth, and the host cost of
+// the run. Unlike the paper experiments, each sweep point's cluster
+// is released as soon as its metrics are extracted — at 10^5 nodes
+// the cluster itself is the dominant allocation, and the sweep must
+// not hold three of them to the end.
+func Scale(o Options) (*Result, error) {
+	o = o.withDefaults()
+	// Points run serially regardless of Options.Parallelism: the host
+	// metrics (wall, heap, peak RSS) are process-wide measurements,
+	// and concurrent 10^4–10^5-node clusters would cross-contaminate
+	// them — BENCH_scale.json must be comparable across PRs. Protocol
+	// metrics are seed-derived per point and unaffected either way.
+	o.Parallelism = 1
+	ns := o.Ns
+	if len(ns) == 0 {
+		ns = scaleDefaultNs
+	}
+	scens := make([]scenario, len(ns))
+	for i, n := range ns {
+		// ~100 control joiners measure discovery; at small N (tests,
+		// reduced-scale benches) fall back to the 10% the paper uses.
+		frac := 100 / float64(n)
+		if frac > 0.10 {
+			frac = 0.10
+		}
+		// Shorter horizon than the paper sweeps: control joiners are
+		// spread into ~cvs coarse views by their JOIN and discover
+		// within a few periods, so 20 measured periods suffice — and
+		// at N = 10^5 every simulated minute costs ~10^9 hash checks.
+		scens[i] = scenario{
+			kind:        modelSTAT,
+			n:           n,
+			warmup:      o.scaled(10*time.Minute, 8*time.Minute),
+			measure:     o.scaled(20*time.Minute, 10*time.Minute),
+			controlFrac: frac,
+		}
+	}
+	pts := make([]ScalePoint, len(scens))
+	err := forEachPoint(o, len(scens),
+		func(i int) string { return pointLabel(scens[i]) },
+		func(i int) error {
+			s := scens[i]
+			s.seed = deriveSeed(o.Seed, i)
+			start := time.Now()
+			out, err := run(s)
+			if err != nil {
+				return err
+			}
+			pts[i] = scalePointMetrics(s.n, out, time.Since(start))
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	proto := &Table{
+		Title: "Large-N sweep: protocol metrics (deterministic)",
+		Header: []string{"N", "K", "cvs", "control", "discovered",
+			"mean disc (min)", "p93 disc (s)", "B/s/node", "checks/s/node", "mem entries", "events"},
+	}
+	host := &Table{
+		Title:  "Large-N sweep: host metrics (non-deterministic, this machine)",
+		Header: []string{"N", "wall (s)", "heap alloc (MB)", "peak RSS (MB)"},
+	}
+	for _, p := range pts {
+		proto.AddRow(itoa(p.N), itoa(p.K), itoa(p.CVS),
+			itoa(p.ControlSize), itoa(p.Discovered),
+			f2(p.MeanDiscoveryMin), f2(p.P93DiscoverySec),
+			f2(p.BytesPerNodeSec), f2(p.ChecksPerNodeSec),
+			f2(p.MemoryEntriesMean), fmt.Sprintf("%d", p.Events))
+		host.AddRow(itoa(p.N), f2(p.WallSeconds), f2(p.HeapAllocMB), f2(p.PeakRSSMB))
+	}
+
+	artifact, err := json.MarshalIndent(scaleArtifact{
+		Experiment: "scale",
+		Seed:       o.Seed,
+		Scale:      o.Scale,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Points:     pts,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scale: marshal artifact: %w", err)
+	}
+	artifact = append(artifact, '\n')
+
+	return &Result{
+		ID:        "scale",
+		Title:     "Scalability of discovery, bandwidth, and simulation cost to N = 100,000",
+		Tables:    []*Table{proto, host},
+		Artifacts: map[string][]byte{ScaleArtifactName: artifact},
+	}, nil
+}
+
+// scalePointMetrics extracts one sweep point's metrics and lets the
+// cluster go unreferenced afterwards.
+func scalePointMetrics(n int, out *outcome, wall time.Duration) ScalePoint {
+	c := out.c
+	p := ScalePoint{
+		N:           n,
+		K:           c.K(),
+		CVS:         c.CVS(),
+		Events:      c.Steps(),
+		WallSeconds: wall.Seconds(),
+	}
+
+	control := out.controlOrLateBorn()
+	p.ControlSize = len(control)
+	times, missed := out.firstDiscoveries(control)
+	p.Discovered = len(control) - missed
+	var cdf stats.CDF
+	for _, d := range times {
+		cdf.Add(d.Seconds())
+	}
+	p.P93DiscoverySec = cdf.Percentile(93)
+	p.MeanDiscoveryMin = meanDiscoveryMinutes(times)
+
+	secs := out.measure.Seconds()
+	alive := out.aliveIndexes()
+	var bw, checks, mem stats.Welford
+	for _, idx := range alive {
+		st := c.Stats(idx)
+		bw.Add(float64(st.Traffic.BytesOut) / secs)
+		mem.Add(float64(st.MemoryEntries))
+	}
+	for _, v := range out.compsPerSecond(alive) {
+		checks.Add(v)
+	}
+	p.BytesPerNodeSec = bw.Mean()
+	p.ChecksPerNodeSec = checks.Mean()
+	p.MemoryEntriesMean = mem.Mean()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.HeapAllocMB = float64(ms.HeapAlloc) / (1 << 20)
+	p.PeakRSSMB = peakRSSMB()
+	return p
+}
+
+// peakRSSMB reads the process's peak resident set size from
+// /proc/self/status (Linux). It returns 0 where the file or the VmHWM
+// field is unavailable; the JSON consumer treats 0 as "not measured".
+// Note the value is process-wide: with parallel sweep points it
+// reflects the whole sweep, not one cluster.
+func peakRSSMB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

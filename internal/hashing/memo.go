@@ -1,0 +1,112 @@
+package hashing
+
+import (
+	"avmon/internal/ids"
+)
+
+// DefaultMemoCapacity bounds the number of cached pair verdicts held
+// by a MemoSelector before the cache is flushed (one "epoch"). At the
+// default, a full cache costs a few tens of megabytes — small next to
+// the simulation state it serves, and bounded regardless of how many
+// distinct pairs a long run evaluates.
+const DefaultMemoCapacity = 1 << 20
+
+// MemoSelector wraps a Selector with a bounded memo of Related
+// verdicts. During a coarse-view discovery sweep the same (y, x) pair
+// is re-evaluated many times — by the discoverer, by both notified
+// endpoints, and again on every later sweep that sees the pair — so a
+// cluster-wide memo lets each pair be hashed at most once per epoch.
+//
+// The memo is worthwhile exactly when hashing is expensive: for the
+// paper's MD5/SHA-1 hashes a map hit is ~5× cheaper than the digest,
+// while for FastHasher the mix is cheaper than any lookup and the raw
+// selector should be used directly (the avmon package wires this
+// policy up automatically for simulated clusters).
+//
+// Memoization is invisible to results by construction: Related returns
+// exactly what the wrapped selector returns, and cache flushes affect
+// only speed. A MemoSelector is NOT safe for concurrent use; it is
+// meant for the single-threaded discrete-event simulator, one instance
+// per cluster. Concurrent deployments (Service) use the plain Selector.
+type MemoSelector struct {
+	inner *Selector
+	cap   int
+	cache map[pairKey]bool
+
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+type pairKey struct{ y, x ids.ID }
+
+// Memoize wraps sel with a bounded pair-verdict memo. capacity ≤ 0
+// selects DefaultMemoCapacity.
+func Memoize(sel *Selector, capacity int) *MemoSelector {
+	if capacity <= 0 {
+		capacity = DefaultMemoCapacity
+	}
+	return &MemoSelector{
+		inner: sel,
+		cap:   capacity,
+		cache: make(map[pairKey]bool),
+	}
+}
+
+// Related reports whether y ∈ PS(x), hashing the pair only on a memo
+// miss.
+func (m *MemoSelector) Related(y, x ids.ID) bool {
+	key := pairKey{y, x}
+	if v, ok := m.cache[key]; ok {
+		m.hits++
+		return v
+	}
+	m.misses++
+	v := m.inner.Related(y, x)
+	if len(m.cache) >= m.cap {
+		// Epoch flush: start a fresh memo rather than tracking
+		// per-entry recency. The population of hot pairs shifts slowly
+		// (coarse views reshuffle once per period), so a flush is
+		// repopulated within one sweep.
+		m.cache = make(map[pairKey]bool)
+		m.flushes++
+	}
+	m.cache[key] = v
+	return v
+}
+
+// K returns the pinging-set parameter of the wrapped selector.
+func (m *MemoSelector) K() int { return m.inner.K() }
+
+// N returns the expected stable system size of the wrapped selector.
+func (m *MemoSelector) N() int { return m.inner.N() }
+
+// Hasher returns the wrapped selector's hash function.
+func (m *MemoSelector) Hasher() Hasher { return m.inner.Hasher() }
+
+// Threshold returns the wrapped selector's 64-bit threshold.
+func (m *MemoSelector) Threshold() uint64 { return m.inner.Threshold() }
+
+// Unwrap returns the wrapped selector.
+func (m *MemoSelector) Unwrap() *Selector { return m.inner }
+
+// MemoStats reports cache effectiveness counters.
+type MemoStats struct {
+	Hits    uint64 // Related calls answered from the memo
+	Misses  uint64 // Related calls that hashed
+	Flushes uint64 // epoch flushes triggered by the capacity bound
+	Entries int    // pairs currently memoized
+}
+
+// Stats returns a snapshot of the memo counters.
+func (m *MemoSelector) Stats() MemoStats {
+	return MemoStats{Hits: m.hits, Misses: m.misses, Flushes: m.flushes, Entries: len(m.cache)}
+}
+
+// Reset drops all memoized verdicts (the counters survive). Useful at
+// epoch boundaries chosen by the caller, e.g. when the system size
+// estimate is re-tuned.
+func (m *MemoSelector) Reset() {
+	m.cache = make(map[pairKey]bool)
+	m.flushes++
+}

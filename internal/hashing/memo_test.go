@@ -1,0 +1,99 @@
+package hashing
+
+import (
+	"testing"
+
+	"avmon/internal/ids"
+)
+
+func TestMemoSelectorMatchesInner(t *testing.T) {
+	for _, h := range allHashers() {
+		t.Run(h.Name(), func(t *testing.T) {
+			sel, err := NewSelector(h, 8, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo := Memoize(sel, 0)
+			for round := 0; round < 3; round++ { // repeats exercise hits
+				for i := 0; i < 200; i++ {
+					for j := 0; j < 10; j++ {
+						y, x := ids.Sim(i), ids.Sim(j)
+						if got, want := memo.Related(y, x), sel.Related(y, x); got != want {
+							t.Fatalf("memo.Related(%v,%v) = %v, inner = %v", y, x, got, want)
+						}
+					}
+				}
+			}
+			st := memo.Stats()
+			if st.Misses == 0 || st.Hits == 0 {
+				t.Errorf("memo never exercised both paths: %+v", st)
+			}
+			// Rounds 2 and 3 must be pure hits.
+			if st.Misses > 200*10 {
+				t.Errorf("misses = %d, want ≤ %d (pairs hashed at most once)", st.Misses, 200*10)
+			}
+		})
+	}
+}
+
+func TestMemoSelectorPassthrough(t *testing.T) {
+	sel, err := NewSelector(FastHasher{}, 5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := Memoize(sel, 0)
+	if memo.K() != sel.K() || memo.N() != sel.N() || memo.Threshold() != sel.Threshold() {
+		t.Errorf("passthrough mismatch: K=%d/%d N=%d/%d thr=%d/%d",
+			memo.K(), sel.K(), memo.N(), sel.N(), memo.Threshold(), sel.Threshold())
+	}
+	if memo.Hasher() != sel.Hasher() {
+		t.Error("Hasher passthrough mismatch")
+	}
+	if memo.Unwrap() != sel {
+		t.Error("Unwrap did not return the inner selector")
+	}
+}
+
+func TestMemoSelectorCapacityFlush(t *testing.T) {
+	sel, err := NewSelector(FastHasher{}, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := Memoize(sel, 16)
+	x := ids.Sim(0)
+	for i := 1; i <= 100; i++ {
+		memo.Related(ids.Sim(i), x)
+	}
+	st := memo.Stats()
+	if st.Flushes == 0 {
+		t.Errorf("no flush after %d distinct pairs with capacity 16: %+v", 100, st)
+	}
+	if st.Entries > 16 {
+		t.Errorf("cache holds %d entries, capacity 16", st.Entries)
+	}
+	// Verdicts remain correct across flushes.
+	for i := 1; i <= 100; i++ {
+		if memo.Related(ids.Sim(i), x) != sel.Related(ids.Sim(i), x) {
+			t.Fatalf("verdict diverged after flush for pair %d", i)
+		}
+	}
+}
+
+func TestMemoSelectorReset(t *testing.T) {
+	sel, err := NewSelector(FastHasher{}, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := Memoize(sel, 0)
+	memo.Related(ids.Sim(1), ids.Sim(2))
+	if memo.Stats().Entries != 1 {
+		t.Fatalf("entries = %d, want 1", memo.Stats().Entries)
+	}
+	memo.Reset()
+	if st := memo.Stats(); st.Entries != 0 || st.Flushes != 1 {
+		t.Errorf("after Reset: %+v", st)
+	}
+	if memo.Related(ids.Sim(1), ids.Sim(2)) != sel.Related(ids.Sim(1), ids.Sim(2)) {
+		t.Error("verdict diverged after Reset")
+	}
+}

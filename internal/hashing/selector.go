@@ -2,7 +2,7 @@ package hashing
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 
 	"avmon/internal/ids"
 )
@@ -18,6 +18,7 @@ import (
 // uniform and pairwise uncorrelated).
 type Selector struct {
 	hasher    Hasher
+	fast      bool // hasher is FastHasher: statically dispatch the hot path
 	k         int
 	n         int
 	threshold uint64 // floor(K/N * 2^64), the integer form of K/N
@@ -36,20 +37,37 @@ func NewSelector(h Hasher, k, n int) (*Selector, error) {
 	if k > n {
 		return nil, fmt.Errorf("hashing: K must not exceed N (K=%d, N=%d)", k, n)
 	}
-	frac := float64(k) / float64(n)
-	var thr uint64
-	if frac >= 1 {
-		thr = math.MaxUint64
-	} else {
-		thr = uint64(frac * math.Exp2(64))
-	}
-	return &Selector{hasher: h, k: k, n: n, threshold: thr}, nil
+	_, fast := h.(FastHasher)
+	return &Selector{hasher: h, fast: fast, k: k, n: n, threshold: threshold64(k, n)}, nil
 }
 
-// Related reports whether y ∈ PS(x), i.e. whether y monitors x.
+// threshold64 returns floor(k/n · 2^64), the exact 64-bit fixed-point
+// form of K/N, computed with a 128-by-64-bit division. The earlier
+// float64 route (uint64(frac · 2^64)) both lost precision for most
+// K/N ratios and hit undefined float→uint conversion behavior when the
+// product rounded up to exactly 2^64 (K close to N); every node must
+// agree on the threshold bit-for-bit or the relation stops being
+// consistent.
+func threshold64(k, n int) uint64 {
+	if k >= n {
+		// K/N ≥ 1: the condition H ≤ K/N holds for every hash value.
+		return ^uint64(0)
+	}
+	// k < n guarantees the quotient of (k·2^64)/n fits in 64 bits.
+	q, _ := bits.Div64(uint64(k), 0, uint64(n))
+	return q
+}
+
+// Related reports whether y ∈ PS(x), i.e. whether y monitors x. The
+// discovery sweep evaluates this Θ(cvs²) times per node per period,
+// so the FastHasher case dispatches statically (the dynamic interface
+// call costs more than the mix itself).
 func (s *Selector) Related(y, x ids.ID) bool {
 	if y == x {
 		return false
+	}
+	if s.fast {
+		return FastHasher{}.Hash64(y, x) <= s.threshold
 	}
 	return s.hasher.Hash64(y, x) <= s.threshold
 }

@@ -1,0 +1,110 @@
+package hashing
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"avmon/internal/ids"
+)
+
+// refThreshold computes floor(k·2^64/n) with arbitrary-precision
+// integers: the ground truth the fixed-point threshold must match.
+func refThreshold(k, n int) uint64 {
+	if k >= n {
+		return math.MaxUint64
+	}
+	num := new(big.Int).Lsh(big.NewInt(int64(k)), 64)
+	num.Div(num, big.NewInt(int64(n)))
+	if !num.IsUint64() {
+		panic("reference threshold exceeds 64 bits")
+	}
+	return num.Uint64()
+}
+
+// refRelated evaluates the consistency condition H(y,x)/2^64 ≤ K/N
+// exactly: H·N ≤ K·2^64, compared as big integers.
+func refRelated(h uint64, k, n int) bool {
+	lhs := new(big.Int).Mul(new(big.Int).SetUint64(h), big.NewInt(int64(n)))
+	rhs := new(big.Int).Lsh(big.NewInt(int64(k)), 64)
+	return lhs.Cmp(rhs) <= 0
+}
+
+// TestThresholdMatchesBigIntReference pins the fixed-point threshold
+// to the exact big-integer value at the edges the ISSUE calls out:
+// K ≈ N, K = 1 with huge N, and a sweep of awkward ratios where the
+// old float64 rounding was off by up to several thousand ulps.
+func TestThresholdMatchesBigIntReference(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{1, 2}, {1, 3}, {1, 7}, {2, 3},
+		{1, 1}, {5, 5}, // K = N: threshold saturates
+		{999_999, 1_000_000},   // K ≈ N
+		{1 << 30, 1<<30 + 1},   // K ≈ N, huge
+		{1, math.MaxInt32},     // K = 1, huge N
+		{1, 1_000_000_000_000}, // K = 1, N beyond 32 bits
+		{17, 100_000},          // the large-N sweep's K/N
+		{10, 1 << 50}, {(1 << 50) - 1, 1 << 50},
+	}
+	for _, c := range cases {
+		sel, err := NewSelector(FastHasher{}, c.k, c.n)
+		if err != nil {
+			t.Fatalf("NewSelector(%d, %d): %v", c.k, c.n, err)
+		}
+		if got, want := sel.Threshold(), refThreshold(c.k, c.n); got != want {
+			t.Errorf("threshold(K=%d, N=%d) = %d, want %d (off by %d)",
+				c.k, c.n, got, want, int64(got-want))
+		}
+	}
+}
+
+// TestThresholdPropertyRandomRatios is the property form: for random
+// (K, N) the fixed-point threshold equals the big-integer floor, and
+// Related agrees with the exact rational comparison for hash values
+// probing both sides of the cut.
+func TestThresholdPropertyRandomRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(1<<31)
+		k := 1 + rng.Intn(n)
+		sel, err := NewSelector(FastHasher{}, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr := sel.Threshold()
+		if want := refThreshold(k, n); thr != want {
+			t.Fatalf("threshold(K=%d, N=%d) = %d, want %d", k, n, thr, want)
+		}
+		// Probe hash values at and around the threshold plus a random
+		// draw; the selector's verdict must match exact arithmetic.
+		probes := []uint64{thr, thr + 1, thr - 1, 0, math.MaxUint64, rng.Uint64()}
+		for _, h := range probes {
+			got := h <= thr
+			if want := refRelated(h, k, n); got != want {
+				t.Fatalf("K=%d N=%d hash=%d: fixed-point says %v, exact says %v",
+					k, n, h, got, want)
+			}
+		}
+	}
+}
+
+// TestRelatedMatchesExactReference drives the full Related path (hash
+// included) against the exact rational comparison over real ID pairs.
+func TestRelatedMatchesExactReference(t *testing.T) {
+	for _, c := range []struct{ k, n int }{{1, 1000}, {7, 129}, {128, 129}, {17, 100_000}} {
+		for _, h := range allHashers() {
+			sel, err := NewSelector(h, c.k, c.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := ids.Sim(0)
+			for i := 1; i < 500; i++ {
+				y := ids.Sim(i)
+				if got, want := sel.Related(y, x), refRelated(h.Hash64(y, x), c.k, c.n); got != want {
+					t.Fatalf("%s K=%d N=%d pair (%v,%v): Related = %v, exact = %v",
+						h.Name(), c.k, c.n, y, x, got, want)
+				}
+			}
+		}
+	}
+}

@@ -21,6 +21,13 @@ var ErrCodec = errors.New("netstack: bad message")
 // protecting against memory-exhaustion from forged datagrams.
 const MaxViewEntries = 4096
 
+// validWireType reports whether t is one of the defined message
+// types. Encode and Decode both enforce it, so the codec stays
+// symmetric when a new type is added.
+func validWireType(t core.MsgType) bool {
+	return t >= core.MsgJoin && t <= core.MsgAvailResp
+}
+
 // fixed layout:
 //
 //	offset size field
@@ -38,8 +45,13 @@ const MaxViewEntries = 4096
 //	52     6×n  view entries
 const fixedLen = 52
 
-// Encode serializes m.
+// Encode serializes m. Only the defined message types are encodable;
+// the codec is strict in both directions so Encode∘Decode is the
+// identity on every accepted datagram.
 func Encode(m *core.Message) ([]byte, error) {
+	if !validWireType(m.Type) {
+		return nil, fmt.Errorf("%w: unknown message type %d", ErrCodec, m.Type)
+	}
 	if len(m.View) > MaxViewEntries {
 		return nil, fmt.Errorf("%w: view too large (%d entries)", ErrCodec, len(m.View))
 	}
@@ -75,6 +87,9 @@ func Decode(buf []byte) (*core.Message, error) {
 		return nil, fmt.Errorf("%w: short datagram (%d bytes)", ErrCodec, len(buf))
 	}
 	m := &core.Message{Type: core.MsgType(buf[0])}
+	if !validWireType(m.Type) {
+		return nil, fmt.Errorf("%w: unknown message type %d", ErrCodec, buf[0])
+	}
 	var err error
 	if m.From, err = ids.FromWire(buf[1:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
@@ -92,7 +107,17 @@ func Decode(buf []byte) (*core.Message, error) {
 	m.Seq = binary.BigEndian.Uint64(buf[29:])
 	m.Count = int(int32(binary.BigEndian.Uint32(buf[37:])))
 	m.Avail = math.Float64frombits(binary.BigEndian.Uint64(buf[41:]))
-	m.Known = buf[49] == 1
+	switch buf[49] {
+	case 0:
+		m.Known = false
+	case 1:
+		m.Known = true
+	default:
+		// Strict parse: a forged flag byte must not silently
+		// normalize (fuzz-found; Decode is the deployment's attack
+		// surface and accepts only Encode's canonical form).
+		return nil, fmt.Errorf("%w: bad known flag %d", ErrCodec, buf[49])
+	}
 	viewLen := int(binary.BigEndian.Uint16(buf[50:]))
 	if viewLen > MaxViewEntries {
 		return nil, fmt.Errorf("%w: view too large (%d entries)", ErrCodec, viewLen)

@@ -63,7 +63,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestEncodeDecodeProperty(t *testing.T) {
 	f := func(typ uint8, fromIdx, subjIdx uint16, weight int32, seq uint64, avail float64, viewN uint8) bool {
 		m := &core.Message{
-			Type:    core.MsgType(typ),
+			// The codec is strict about types: draw from the defined
+			// range (MsgJoin = 1 .. MsgAvailResp).
+			Type:    core.MsgType(typ%uint8(core.MsgAvailResp) + 1),
 			From:    ids.Sim(int(fromIdx)),
 			Subject: ids.Sim(int(subjIdx)),
 			Weight:  int(weight),

@@ -7,6 +7,14 @@
 // supply the wire size so per-node bandwidth can be accounted exactly
 // as the paper does (outgoing bytes per second, including "useless"
 // messages sent to absent nodes).
+//
+// Endpoint state is held in dense indexed tables rather than maps:
+// simulated identities (ids.Sim) resolve through a flat slice indexed
+// by node number, and the alive population is a swap-remove slice, so
+// lookups and uniform alive draws are O(1) regardless of N. The
+// previous map + reservoir-sample design drew one random number per
+// alive endpoint on every bootstrap lookup — quadratic work over a
+// run at N = 100,000.
 package simnet
 
 import (
@@ -55,11 +63,14 @@ type Counters struct {
 
 // Network connects endpoints through a shared discrete-event engine.
 type Network struct {
-	eng       *sim.Engine
-	latency   LatencyFunc
-	loss      float64
-	endpoints map[ids.ID]*Endpoint
-	order     []*Endpoint // attachment order, for deterministic iteration
+	eng     *sim.Engine
+	latency LatencyFunc
+	loss    float64
+
+	bySim  []*Endpoint          // dense table indexed by ids.SimIndex
+	others map[ids.ID]*Endpoint // non-simulated identities (lazily built)
+	order  []*Endpoint          // attachment order, for deterministic iteration
+	alive  []*Endpoint          // current alive set, swap-remove maintained
 }
 
 // Option configures a Network.
@@ -80,9 +91,8 @@ func WithLoss(p float64) Option {
 // New creates a network on the given engine.
 func New(eng *sim.Engine, opts ...Option) *Network {
 	n := &Network{
-		eng:       eng,
-		latency:   ConstantLatency(50 * time.Millisecond),
-		endpoints: make(map[ids.ID]*Endpoint),
+		eng:     eng,
+		latency: ConstantLatency(50 * time.Millisecond),
 	}
 	for _, o := range opts {
 		o(n)
@@ -93,6 +103,17 @@ func New(eng *sim.Engine, opts ...Option) *Network {
 // Engine returns the underlying simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
+// lookup resolves an identity to its endpoint (nil if unknown).
+func (n *Network) lookup(id ids.ID) *Endpoint {
+	if idx, ok := ids.SimIndex(id); ok {
+		if idx < len(n.bySim) {
+			return n.bySim[idx]
+		}
+		return nil
+	}
+	return n.others[id]
+}
+
 // Attach registers a new endpoint with the given identity and message
 // handler. The endpoint starts dead; call SetAlive(true) to bring it
 // up. Attaching a duplicate identity is a programming error.
@@ -100,11 +121,21 @@ func (n *Network) Attach(id ids.ID, h Handler) (*Endpoint, error) {
 	if id.IsNone() {
 		return nil, fmt.Errorf("simnet: cannot attach the None identity")
 	}
-	if _, ok := n.endpoints[id]; ok {
+	if n.lookup(id) != nil {
 		return nil, fmt.Errorf("simnet: endpoint %v already attached", id)
 	}
-	ep := &Endpoint{net: n, id: id, handler: h}
-	n.endpoints[id] = ep
+	ep := &Endpoint{net: n, id: id, handler: h, alivePos: -1}
+	if idx, ok := ids.SimIndex(id); ok {
+		for len(n.bySim) <= idx {
+			n.bySim = append(n.bySim, nil)
+		}
+		n.bySim[idx] = ep
+	} else {
+		if n.others == nil {
+			n.others = make(map[ids.ID]*Endpoint)
+		}
+		n.others[id] = ep
+	}
 	n.order = append(n.order, ep)
 	return ep, nil
 }
@@ -113,14 +144,17 @@ func (n *Network) Attach(id ids.ID, h Handler) (*Endpoint, error) {
 // is the experiment oracle (e.g. for counting useless pings); protocol
 // code must not use it.
 func (n *Network) Alive(id ids.ID) bool {
-	ep, ok := n.endpoints[id]
-	return ok && ep.alive
+	ep := n.lookup(id)
+	return ep != nil && ep.alive
 }
+
+// AliveCount returns the number of currently-alive endpoints.
+func (n *Network) AliveCount() int { return len(n.alive) }
 
 // AliveIDs returns the identities of all currently-alive endpoints,
 // in attachment order.
 func (n *Network) AliveIDs() []ids.ID {
-	out := make([]ids.ID, 0, len(n.order))
+	out := make([]ids.ID, 0, len(n.alive))
 	for _, ep := range n.order {
 		if ep.alive {
 			out = append(out, ep.id)
@@ -132,22 +166,25 @@ func (n *Network) AliveIDs() []ids.ID {
 // RandomAlive returns a uniformly random alive endpoint identity other
 // than exclude, or None if there is no such endpoint. It is used as
 // the bootstrap oracle for the join protocol ("Pick a random node y",
-// Figure 1).
+// Figure 1). One random draw against the dense alive set, regardless
+// of N.
 func (n *Network) RandomAlive(exclude ids.ID) ids.ID {
-	// Reservoir-sample in attachment order so the draw sequence is
-	// deterministic for a given seed.
-	chosen := ids.None
-	count := 0
-	for _, ep := range n.order {
-		if !ep.alive || ep.id == exclude {
-			continue
+	count := len(n.alive)
+	if ex := n.lookup(exclude); ex != nil && ex.alive {
+		if count <= 1 {
+			return ids.None
 		}
-		count++
-		if n.eng.Rand().Intn(count) == 0 {
-			chosen = ep.id
+		// Draw from the alive set with the excluded slot skipped.
+		j := n.eng.Rand().Intn(count - 1)
+		if j >= ex.alivePos {
+			j++
 		}
+		return n.alive[j].id
 	}
-	return chosen
+	if count == 0 {
+		return ids.None
+	}
+	return n.alive[n.eng.Rand().Intn(count)].id
 }
 
 // Endpoint is one node's attachment point to the network.
@@ -155,6 +192,7 @@ type Endpoint struct {
 	net      *Network
 	id       ids.ID
 	alive    bool
+	alivePos int // index in net.alive while alive, -1 otherwise
 	handler  Handler
 	counters Counters
 }
@@ -168,7 +206,25 @@ func (ep *Endpoint) Alive() bool { return ep.alive }
 // SetAlive brings the endpoint up or down. Messages in flight toward a
 // downed endpoint are silently dropped at delivery time (crash-stop,
 // Section 3).
-func (ep *Endpoint) SetAlive(alive bool) { ep.alive = alive }
+func (ep *Endpoint) SetAlive(alive bool) {
+	if ep.alive == alive {
+		return
+	}
+	ep.alive = alive
+	n := ep.net
+	if alive {
+		ep.alivePos = len(n.alive)
+		n.alive = append(n.alive, ep)
+		return
+	}
+	last := len(n.alive) - 1
+	moved := n.alive[last]
+	n.alive[ep.alivePos] = moved
+	moved.alivePos = ep.alivePos
+	n.alive[last] = nil
+	n.alive = n.alive[:last]
+	ep.alivePos = -1
+}
 
 // Counters returns a snapshot of the endpoint's traffic counters.
 func (ep *Endpoint) Counters() Counters { return ep.counters }
@@ -186,8 +242,7 @@ func (ep *Endpoint) Send(to ids.ID, msg any, size int) {
 	}
 	ep.counters.MsgsOut++
 	ep.counters.BytesOut += uint64(size)
-	dst, ok := ep.net.endpoints[to]
-	if !ok || !dst.alive {
+	if dst := ep.net.lookup(to); dst == nil || !dst.alive {
 		ep.counters.UselessMsgs++
 		ep.counters.UselessBytes += uint64(size)
 		// The message still leaves the sender's NIC; it is simply
@@ -200,8 +255,8 @@ func (ep *Endpoint) Send(to ids.ID, msg any, size int) {
 	from := ep.id
 	d := ep.net.latency(ep.net.eng.Rand())
 	ep.net.eng.After(d, func() {
-		dst, ok := ep.net.endpoints[to]
-		if !ok || !dst.alive {
+		dst := ep.net.lookup(to)
+		if dst == nil || !dst.alive {
 			return
 		}
 		dst.counters.MsgsIn++
