@@ -2,6 +2,7 @@ package avmon
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"avmon/internal/churn"
@@ -65,12 +66,20 @@ type ClusterConfig struct {
 	N int
 	// Seed makes the whole simulation deterministic.
 	Seed int64
+	// Shards is the number of parallel simulation shards for this one
+	// run. 0 or 1 selects the serial engine; higher values partition
+	// nodes across that many worker shards advancing in lockstep
+	// lookahead windows (conservative parallel discrete-event
+	// simulation). For one seed, results are byte-identical at any
+	// value — see DESIGN.md, "Parallel simulation".
+	Shards int
 	// Options are the per-node protocol knobs.
 	Options NodeOptions
 	// OverreportFraction makes this fraction of nodes report 100%
 	// availability for everything they monitor (Figure 20's attack).
 	OverreportFraction float64
 	// Latency is the constant one-way message latency (default 50ms).
+	// Under sharding it is also the engine's lookahead window.
 	Latency time.Duration
 	// Loss is an independent per-message drop probability, for
 	// failure-injection testing (default 0).
@@ -83,7 +92,7 @@ type Traffic struct {
 	MsgsIn       uint64
 	BytesOut     uint64
 	BytesIn      uint64
-	UselessMsgs  uint64 // messages sent to currently-dead nodes
+	UselessMsgs  uint64 // messages that found their destination dead
 	UselessBytes uint64
 }
 
@@ -102,7 +111,7 @@ type MemberStats struct {
 	MonPingsSent    uint64
 	MonAcks         uint64
 	PingsSaved      uint64
-	UselessMonPings uint64        // monitoring pings sent while the target was dead
+	UselessMonPings uint64        // monitoring pings that found the target dead
 	BornAtOffset    time.Duration // birth time relative to the simulation epoch
 	UpTime          time.Duration // cumulative time alive
 	LifeTime        time.Duration // birth → now (zero if never born)
@@ -117,46 +126,51 @@ func (s MemberStats) TrueAvailability() float64 {
 	return float64(s.UpTime) / float64(s.LifeTime)
 }
 
-// member is one simulated node plus its harness state.
+// member is one simulated node plus its harness state. Field ownership
+// follows the engine's lane discipline: lifecycle bookkeeping (born,
+// dead, uptime accounting) belongs to the control lane, protocol state
+// (node, tickers) to the member's own lane, and uselessMonPings is
+// updated atomically from arbitrary destination lanes. Stats reads
+// everything while the engine is quiescent.
 type member struct {
 	node *core.Node
 	ep   *simnet.Endpoint
+	lane *sim.Lane
 
+	// Owned by the member's lane:
 	tick *sim.Ticker
 	mon  *sim.Ticker
 
+	// Owned by the control lane:
 	everBorn bool
 	dead     bool
 	bornAt   time.Time
 	upSince  time.Time // valid while alive
 	upTotal  time.Duration
 
-	uselessMonPings uint64 // monitoring pings sent to dead targets
+	// Updated atomically (see Cluster's undelivered callback):
+	uselessMonPings uint64
 }
 
-// transport adapts a simnet endpoint to core.Transport, counting
-// monitoring pings aimed at currently-dead targets (the "useless
-// pings" of Figure 18).
+// transport adapts a simnet endpoint to core.Transport. Monitoring
+// pings that find their target dead (the "useless pings" of Figure 18)
+// are counted by the cluster's undelivered callback at delivery time.
 type transport struct {
-	net *simnet.Network
-	ep  *simnet.Endpoint
-	m   *member
+	ep *simnet.Endpoint
 }
 
 func (t transport) Send(to ids.ID, m *core.Message) {
-	if m.Type == core.MsgMonPing && !t.net.Alive(to) {
-		t.m.uselessMonPings++
-	}
 	t.ep.Send(to, m, m.WireSize())
 }
 
 // Cluster is a fully simulated AVMON deployment: a discrete-event
-// engine, a simulated network, a churn model, and one protocol node
-// per simulated host. It is the substrate for every experiment in
-// EXPERIMENTS.md and is deterministic for a given seed.
+// engine (serial or sharded), a simulated network, a churn model, and
+// one protocol node per simulated host. It is the substrate for every
+// experiment in EXPERIMENTS.md and is deterministic for a given seed
+// at any shard count.
 type Cluster struct {
 	cfg     ClusterConfig
-	eng     *sim.Engine
+	eng     sim.Sched
 	net     *simnet.Network
 	scheme  SelectionScheme
 	model   ChurnModel
@@ -185,26 +199,66 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 	if cfg.OverreportFraction < 0 || cfg.OverreportFraction > 1 {
 		return nil, fmt.Errorf("avmon: OverreportFraction %v outside [0,1]", cfg.OverreportFraction)
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	k := cfg.Options.kFor(cfg.N)
 	scheme, err := cfg.Options.simScheme(k, cfg.N)
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.New(cfg.Seed)
+	var eng sim.Sched
+	if cfg.Shards > 1 {
+		// The constant message latency is the minimum cross-node event
+		// distance, hence exactly the conservative lookahead.
+		sharded, err := sim.NewSharded(cfg.Seed, cfg.Shards, cfg.Latency)
+		if err != nil {
+			return nil, fmt.Errorf("avmon: %w", err)
+		}
+		eng = sharded
+	} else {
+		eng = sim.New(cfg.Seed)
+	}
 	c := &Cluster{
 		cfg:    cfg,
 		eng:    eng,
-		net:    simnet.New(eng, simnet.WithLatency(simnet.ConstantLatency(cfg.Latency)), simnet.WithLoss(cfg.Loss)),
 		scheme: scheme,
 		model:  model,
 		k:      k,
 		cvs:    cfg.Options.cvsFor(cfg.N),
 	}
+	c.net = simnet.New(eng,
+		simnet.WithLatency(simnet.ConstantLatency(cfg.Latency)),
+		simnet.WithLoss(cfg.Loss),
+		simnet.WithUndelivered(c.undelivered))
 	model.Install(eng, c)
 	return c, nil
 }
 
+// undelivered runs on the destination's lane whenever a message finds
+// its target dead; it attributes useless monitoring pings back to the
+// sender (atomically — several destination shards may classify one
+// sender's pings concurrently).
+func (c *Cluster) undelivered(from *simnet.Endpoint, _ ids.ID, msg any, _ int) {
+	cm, ok := msg.(*core.Message)
+	if !ok || cm.Type != core.MsgMonPing {
+		return
+	}
+	if m, ok := from.Tag().(*member); ok {
+		atomic.AddUint64(&m.uselessMonPings, 1)
+	}
+}
+
 // --- churn.Driver ----------------------------------------------------
+//
+// The driver methods run as control-lane events (or while the engine
+// is quiescent). They mutate only control-owned state — the member
+// table, the alive registry, uptime bookkeeping — and reach protocol
+// state exclusively by posting events to the member's lane at the
+// current virtual time. That split is what makes a sharded run
+// byte-identical to a serial one: the bootstrap oracle and the churn
+// randomness stay on one deterministic stream while node lanes
+// progress in parallel.
 
 // Birth implements churn.Driver.
 func (c *Cluster) Birth(idx int) {
@@ -216,17 +270,19 @@ func (c *Cluster) Birth(idx int) {
 	}
 	id := ids.Sim(idx)
 	m := &member{}
-	ep, err := c.net.Attach(id, func(from ids.ID, msg any, _ int) {
+	ep, err := c.net.Attach(id, func(from ids.ID, msg any, _ int, now time.Time) {
 		cm, ok := msg.(*core.Message)
 		if !ok {
 			return
 		}
-		m.node.Handle(from, cm, c.eng.Now())
+		m.node.Handle(from, cm, now)
 	})
 	if err != nil {
 		return // duplicate identity; model misuse
 	}
+	ep.SetTag(m)
 	m.ep = ep
+	m.lane = ep.Lane()
 	// One private random source per node: the compact 8-byte source
 	// keeps 10^5-node populations from burning ~5 KB of generator
 	// state each (≈ 500 MB at N = 100,000 with rand.NewSource).
@@ -235,7 +291,7 @@ func (c *Cluster) Birth(idx int) {
 	nodeCfg := core.Config{
 		ID:               id,
 		Scheme:           c.scheme,
-		Transport:        transport{net: c.net, ep: ep, m: m},
+		Transport:        transport{ep: ep},
 		Rand:             rng,
 		CVS:              c.cvs,
 		Period:           c.cfg.Options.Period,
@@ -263,7 +319,7 @@ func (c *Cluster) Birth(idx int) {
 // Rejoin implements churn.Driver.
 func (c *Cluster) Rejoin(idx int) {
 	m := c.memberAt(idx)
-	if m == nil || m.dead || m.ep.Alive() {
+	if m == nil || m.dead || m.ep.Registered() {
 		return
 	}
 	c.bringUp(m)
@@ -272,7 +328,7 @@ func (c *Cluster) Rejoin(idx int) {
 // Leave implements churn.Driver.
 func (c *Cluster) Leave(idx int) {
 	m := c.memberAt(idx)
-	if m == nil || !m.ep.Alive() {
+	if m == nil || !m.ep.Registered() {
 		return
 	}
 	c.takeDown(m)
@@ -284,37 +340,49 @@ func (c *Cluster) Death(idx int) {
 	if m == nil {
 		return
 	}
-	if m.ep.Alive() {
+	if m.ep.Registered() {
 		c.takeDown(m)
 	}
 	m.dead = true
 }
 
+// bringUp runs control-side: it registers the member alive, draws the
+// bootstrap contact and ticker phases from the control stream, and
+// posts the protocol-side join to the member's lane at the current
+// virtual time.
 func (c *Cluster) bringUp(m *member) {
 	now := c.eng.Now()
-	m.ep.SetAlive(true)
+	m.ep.SetAliveRegistry(true)
 	m.upSince = now
 	bootstrap := c.net.RandomAlive(m.node.ID())
-	m.node.Join(now, bootstrap)
 	period := m.node.Config().Period
 	monPeriod := m.node.Config().MonitorPeriod
 	offTick := time.Duration(c.eng.Rand().Int63n(int64(period)))
 	offMon := time.Duration(c.eng.Rand().Int63n(int64(monPeriod)))
-	m.tick = c.eng.NewTicker(period, offTick, m.node.Tick)
-	m.mon = c.eng.NewTicker(monPeriod, offMon, m.node.MonitorTick)
+	c.eng.Post(nil, m.lane, now, func(now time.Time) {
+		m.ep.SetAliveFlag(true)
+		m.node.Join(now, bootstrap)
+		m.tick = c.eng.NewLaneTicker(m.lane, period, offTick, m.node.Tick)
+		m.mon = c.eng.NewLaneTicker(m.lane, monPeriod, offMon, m.node.MonitorTick)
+	})
 }
 
+// takeDown is bringUp's inverse: deregister and account uptime
+// control-side, stop the protocol on the member's lane.
 func (c *Cluster) takeDown(m *member) {
 	now := c.eng.Now()
-	m.node.Leave(now)
-	m.ep.SetAlive(false)
+	m.ep.SetAliveRegistry(false)
 	m.upTotal += now.Sub(m.upSince)
-	if m.tick != nil {
-		m.tick.Stop()
-	}
-	if m.mon != nil {
-		m.mon.Stop()
-	}
+	c.eng.Post(nil, m.lane, now, func(now time.Time) {
+		m.node.Leave(now)
+		m.ep.SetAliveFlag(false)
+		if m.tick != nil {
+			m.tick.Stop()
+		}
+		if m.mon != nil {
+			m.mon.Stop()
+		}
+	})
 }
 
 func (c *Cluster) memberAt(idx int) *member {
@@ -332,9 +400,13 @@ func (c *Cluster) Run(d time.Duration) { c.eng.RunFor(d) }
 // Elapsed returns the virtual time since the simulation epoch.
 func (c *Cluster) Elapsed() time.Duration { return c.eng.Elapsed() }
 
-// Steps returns the number of simulation events executed so far
-// (a deterministic measure of how much work the run performed).
+// Steps returns the number of simulation events executed so far (a
+// deterministic measure of how much work the run performed — under
+// sharding, the per-shard counters reduced at the last barrier).
 func (c *Cluster) Steps() uint64 { return c.eng.Steps() }
+
+// Shards returns the configured shard count (1 = serial engine).
+func (c *Cluster) Shards() int { return c.cfg.Shards }
 
 // Scheme returns the cluster's selection scheme.
 func (c *Cluster) Scheme() SelectionScheme { return c.scheme }
@@ -350,18 +422,13 @@ func (c *Cluster) Size() int { return len(c.members) }
 
 // AliveCount returns the number of currently alive nodes.
 func (c *Cluster) AliveCount() int {
-	n := 0
-	for _, m := range c.members {
-		if m != nil && m.ep.Alive() {
-			n++
-		}
-	}
-	return n
+	return c.net.AliveCount()
 }
 
 // EnrollControl births count extra control-group nodes now, subject to
 // the model's ongoing churn, and returns their indexes (the Figure 3
-// methodology).
+// methodology). Their protocol nodes join at the current virtual time
+// when the simulation next runs.
 func (c *Cluster) EnrollControl(count int) []int {
 	out := make([]int, 0, count)
 	for i := 0; i < count; i++ {
@@ -428,7 +495,8 @@ func (c *Cluster) EstimateBy(idx int, target ID) (float64, bool) {
 	return m.node.EstimateOf(target)
 }
 
-// Stats snapshots node idx's protocol and traffic state.
+// Stats snapshots node idx's protocol and traffic state. Valid while
+// the engine is quiescent (between Run calls).
 func (c *Cluster) Stats(idx int) MemberStats {
 	m := c.memberAt(idx)
 	if m == nil {
@@ -437,7 +505,7 @@ func (c *Cluster) Stats(idx int) MemberStats {
 	counters := m.ep.Counters()
 	mon := m.node.MonitoringStats()
 	up := m.upTotal
-	if m.ep.Alive() {
+	if m.ep.Registered() {
 		up += c.eng.Now().Sub(m.upSince)
 	}
 	var life time.Duration
@@ -445,7 +513,7 @@ func (c *Cluster) Stats(idx int) MemberStats {
 		life = c.eng.Now().Sub(m.bornAt)
 	}
 	return MemberStats{
-		Alive:          m.ep.Alive(),
+		Alive:          m.ep.Registered(),
 		Dead:           m.dead,
 		EverBorn:       m.everBorn,
 		PSSize:         len(m.node.PS()),
@@ -465,7 +533,7 @@ func (c *Cluster) Stats(idx int) MemberStats {
 		MonPingsSent:    mon.PingsSent,
 		MonAcks:         mon.Acks,
 		PingsSaved:      mon.PingsSaved,
-		UselessMonPings: m.uselessMonPings,
+		UselessMonPings: atomic.LoadUint64(&m.uselessMonPings),
 		BornAtOffset:    m.bornAt.Sub(sim.Epoch),
 		UpTime:          up,
 		LifeTime:        life,

@@ -6,6 +6,7 @@
 //	avmon-bench -run figure3 -scale 1.0 -seed 1
 //	avmon-bench -run all -scale 0.1 > results.txt
 //	avmon-bench -run all -scale 1.0 -progress -parallel 8
+//	avmon-bench -run scale -shards 8 -cpuprofile scale.pprof
 //
 // Scale 1.0 approximates the paper's methodology (hour-scale warm-up
 // and multi-hour measurement windows); smaller scales shrink the
@@ -13,6 +14,11 @@
 // meaningful. Sweep points run concurrently (-parallel, default
 // GOMAXPROCS); output is byte-identical at any parallelism because
 // every point derives its own seed from -seed and its sweep position.
+// Independently, -shards partitions each single simulation across P
+// engine shards (conservative parallel discrete-event simulation);
+// output is byte-identical at any shard count, so -shards is purely a
+// wall-clock knob — the scale experiment additionally reruns each
+// point sharded and records the measured speedup in BENCH_scale.json.
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,11 +50,39 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		ns       = fs.String("ns", "", "comma-separated N sweep override (e.g. 100,500,1000,2000)")
 		parallel = fs.Int("parallel", 0, "concurrent sweep points per experiment (0 = GOMAXPROCS; results are identical at any setting)")
+		shards   = fs.Int("shards", 0, "parallel engine shards within each single simulation (0/1 = serial; results are identical at any setting; 'scale' also reruns each point sharded and reports the speedup)")
 		progress = fs.Bool("progress", false, "report sweep-point completion on stderr")
 		outDir   = fs.String("outdir", ".", "directory for machine-readable artifacts (e.g. BENCH_scale.json)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "avmon-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "avmon-bench: memprofile:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -63,7 +99,7 @@ func run(args []string) error {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("outdir: %w", err)
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallelism: *parallel, Shards: *shards}
 	if *ns != "" {
 		for _, part := range strings.Split(*ns, ",") {
 			var n int

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -45,5 +49,34 @@ func TestRunParallelWithProgress(t *testing.T) {
 	args := []string{"-run", "figure3", "-scale", "0.01", "-ns", "50,60", "-parallel", "4", "-progress"}
 	if err := run(args); err != nil {
 		t.Fatalf("parallel figure3 run failed: %v", err)
+	}
+}
+
+func TestRunShardedWithProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	args := []string{"-run", "figure9", "-scale", "0.01", "-ns", "50", "-shards", "2",
+		"-cpuprofile", cpu, "-memprofile", mem, "-outdir", dir}
+	if err := run(args); err != nil {
+		t.Fatalf("sharded figure9 run failed: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunBadProfilePath(t *testing.T) {
+	if err := run([]string{"-run", "figure9", "-cpuprofile", "/nonexistent/dir/cpu.pprof"}); err == nil {
+		t.Error("unwritable -cpuprofile accepted")
 	}
 }

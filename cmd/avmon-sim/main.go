@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,13 +21,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "avmon-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run executes one simulation and writes the summary to out (an
+// io.Writer so tests can run it in-process, mirroring the example
+// smoke-test pattern).
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("avmon-sim", flag.ContinueOnError)
 	var (
 		modelName = fs.String("model", "stat", "availability model: stat, synth, synth-bd, synth-bd2, pl, ov")
@@ -39,6 +43,7 @@ func run(args []string) error {
 		forgetful = fs.Bool("forgetful", false, "enable forgetful pinging")
 		pr2       = fs.Bool("pr2", false, "enable the PR2 indegree repair")
 		control   = fs.Float64("control", 0.1, "control-group fraction enrolled after warm-up")
+		shards    = fs.Int("shards", 0, "parallel engine shards for the run (0/1 = serial; results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,8 +53,9 @@ func run(args []string) error {
 		return err
 	}
 	cluster, err := avmon.NewCluster(avmon.ClusterConfig{
-		N:    *n,
-		Seed: *seed,
+		N:      *n,
+		Seed:   *seed,
+		Shards: *shards,
 		Options: avmon.NodeOptions{
 			CVS:       *cvs,
 			K:         *k,
@@ -60,8 +66,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("model=%s N=%d K=%d cvs=%d warmup=%v duration=%v seed=%d\n",
-		*modelName, *n, cluster.K(), cluster.CVS(), *warmup, *duration, *seed)
+	fmt.Fprintf(out, "model=%s N=%d K=%d cvs=%d warmup=%v duration=%v seed=%d shards=%d\n",
+		*modelName, *n, cluster.K(), cluster.CVS(), *warmup, *duration, *seed, cluster.Shards())
 
 	cluster.Run(*warmup)
 	var group []int
@@ -75,7 +81,7 @@ func run(args []string) error {
 	cluster.ResetTraffic()
 	cluster.Run(*duration)
 
-	fmt.Printf("alive=%d of %d ever-born\n", cluster.AliveCount(), cluster.Size())
+	fmt.Fprintf(out, "alive=%d of %d ever-born\n", cluster.AliveCount(), cluster.Size())
 
 	if len(group) == 0 {
 		for i := 0; i < cluster.Size(); i++ {
@@ -103,12 +109,12 @@ func run(args []string) error {
 		}
 		bw.Add(float64(st.Traffic.BytesOut) / secs)
 	}
-	fmt.Printf("discovery: %d/%d found a monitor; mean=%.1fs stddev=%.1fs (bound E[D]=%.1f periods)\n",
+	fmt.Fprintf(out, "discovery: %d/%d found a monitor; mean=%.1fs stddev=%.1fs (bound E[D]=%.1f periods)\n",
 		discovered, len(group), disc.Mean(), disc.Stddev(),
 		avmon.ExpectedDiscoveryTime(cluster.CVS(), *n))
-	fmt.Printf("memory:    mean=%.1f entries (expected ≈ %d)\n", mem.Mean(), 2*cluster.K()+cluster.CVS())
-	fmt.Printf("compute:   mean=%.2f consistency checks/s per node\n", comps.Mean())
-	fmt.Printf("bandwidth: mean=%.2f Bps out per node\n", bw.Mean())
+	fmt.Fprintf(out, "memory:    mean=%.1f entries (expected ≈ %d)\n", mem.Mean(), 2*cluster.K()+cluster.CVS())
+	fmt.Fprintf(out, "compute:   mean=%.2f consistency checks/s per node\n", comps.Mean())
+	fmt.Fprintf(out, "bandwidth: mean=%.2f Bps out per node\n", bw.Mean())
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"strings"
 	"testing"
 	"time"
 )
@@ -21,21 +23,75 @@ func TestBuildModel(t *testing.T) {
 	}
 }
 
+// TestRunTinySimulation drives the full main path against a tiny
+// in-process cluster and checks every summary section reaches the
+// writer (the example smoke-test pattern).
 func TestRunTinySimulation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a simulation")
 	}
+	var sb strings.Builder
 	err := run([]string{
 		"-model", "stat", "-n", "60",
 		"-duration", "10m", "-warmup", "10m",
-	})
+	}, &sb)
 	if err != nil {
-		t.Fatalf("tiny simulation failed: %v", err)
+		t.Fatalf("tiny simulation failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		// 60 stable + 6 control enrollees (the default 10% fraction).
+		"model=stat N=60", "shards=1", "alive=66 of 66",
+		"discovery:", "memory:", "compute:", "bandwidth:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunShardedMatchesSerial runs the same tiny simulation serial and
+// sharded; everything except the shards= header field must be
+// byte-identical (the engine's determinism contract, exercised through
+// the CLI path).
+func TestRunShardedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	render := func(shards string) string {
+		var sb strings.Builder
+		err := run([]string{
+			"-model", "synth", "-n", "50", "-seed", "9",
+			"-duration", "15m", "-warmup", "10m",
+			"-shards", shards,
+		}, &sb)
+		if err != nil {
+			t.Fatalf("run at shards=%s: %v", shards, err)
+		}
+		return strings.ReplaceAll(sb.String(), "shards="+shards, "shards=X")
+	}
+	serial := render("1")
+	if sharded := render("4"); sharded != serial {
+		t.Errorf("sharded output differs from serial:\n--- serial ---\n%s\n--- sharded ---\n%s",
+			serial, sharded)
+	}
+}
+
+// TestRunOutputDiscarded keeps the io.Writer plumbing honest.
+func TestRunOutputDiscarded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	err := run([]string{
+		"-model", "stat", "-n", "40", "-duration", "5m", "-warmup", "5m",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestRunBadModel(t *testing.T) {
-	if err := run([]string{"-model", "bogus"}); err == nil {
+	if err := run([]string{"-model", "bogus"}, io.Discard); err == nil {
 		t.Error("bad model accepted")
 	}
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,13 +19,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "avmon-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run executes one subcommand, writing generated traces and summaries
+// to out (an io.Writer so tests can run it in-process, mirroring the
+// example smoke-test pattern).
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("avmon-trace", flag.ContinueOnError)
 	var (
 		gen      = fs.String("gen", "", "generate a trace: pl or ov (writes to stdout)")
@@ -47,7 +51,7 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown generator %q (want pl or ov)", *gen)
 		}
-		return trace.Write(os.Stdout, tr)
+		return trace.Write(out, tr)
 	case *inspect != "":
 		f, err := os.Open(*inspect)
 		if err != nil {
@@ -58,14 +62,14 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return summarize(tr)
+		return summarize(tr, out)
 	default:
 		fs.Usage()
 		return fmt.Errorf("need -gen or -inspect")
 	}
 }
 
-func summarize(tr *trace.Trace) error {
+func summarize(tr *trace.Trace, out io.Writer) error {
 	deaths := 0
 	var availSum float64
 	for i := range tr.Nodes {
@@ -76,13 +80,13 @@ func summarize(tr *trace.Trace) error {
 		availSum += nt.Availability(tr.Duration)
 	}
 	ms, md := tr.SessionStats()
-	fmt.Printf("trace %q\n", tr.Name)
-	fmt.Printf("  horizon        %v (granularity %v)\n", tr.Duration, tr.Granularity)
-	fmt.Printf("  stable N       %d\n", tr.StableN)
-	fmt.Printf("  nodes ever     %d (deaths: %d)\n", len(tr.Nodes), deaths)
-	fmt.Printf("  mean alive     %.1f\n", tr.MeanAlive(tr.Duration/48))
-	fmt.Printf("  mean avail     %.3f\n", availSum/float64(len(tr.Nodes)))
-	fmt.Printf("  mean session   %v\n", ms.Round(time.Minute))
-	fmt.Printf("  mean downtime  %v\n", md.Round(time.Minute))
+	fmt.Fprintf(out, "trace %q\n", tr.Name)
+	fmt.Fprintf(out, "  horizon        %v (granularity %v)\n", tr.Duration, tr.Granularity)
+	fmt.Fprintf(out, "  stable N       %d\n", tr.StableN)
+	fmt.Fprintf(out, "  nodes ever     %d (deaths: %d)\n", len(tr.Nodes), deaths)
+	fmt.Fprintf(out, "  mean alive     %.1f\n", tr.MeanAlive(tr.Duration/48))
+	fmt.Fprintf(out, "  mean avail     %.3f\n", availSum/float64(len(tr.Nodes)))
+	fmt.Fprintf(out, "  mean session   %v\n", ms.Round(time.Minute))
+	fmt.Fprintf(out, "  mean downtime  %v\n", md.Round(time.Minute))
 	return nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,20 +13,37 @@ import (
 )
 
 func TestRunRequiresMode(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("no mode accepted")
 	}
 }
 
 func TestRunUnknownGenerator(t *testing.T) {
-	if err := run([]string{"-gen", "bogus"}); err == nil {
+	if err := run([]string{"-gen", "bogus"}, io.Discard); err == nil {
 		t.Error("unknown generator accepted")
 	}
 }
 
 func TestInspectMissingFile(t *testing.T) {
-	if err := run([]string{"-inspect", "/nonexistent/file"}); err == nil {
+	if err := run([]string{"-inspect", "/nonexistent/file"}, io.Discard); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestGenerateRoundTrip drives the full generate path in-process: the
+// trace written to the output writer must parse back and describe the
+// requested population.
+func TestGenerateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "pl", "-n", "25", "-duration", "4h", "-seed", "3"}, &buf); err != nil {
+		t.Fatalf("generate failed: %v", err)
+	}
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("generated trace does not parse: %v", err)
+	}
+	if tr.StableN != 25 || tr.Duration != 4*time.Hour {
+		t.Errorf("round-tripped trace: StableN=%d Duration=%v", tr.StableN, tr.Duration)
 	}
 }
 
@@ -41,14 +61,25 @@ func TestInspectRoundTrip(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-inspect", path}); err != nil {
+	var sb strings.Builder
+	if err := run([]string{"-inspect", path}, &sb); err != nil {
 		t.Fatalf("inspect failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"horizon", "stable N       30", "mean session", "mean downtime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
 	}
 }
 
 func TestSummarize(t *testing.T) {
 	tr := trace.GeneratePlanetLab(10, 2*time.Hour, 1)
-	if err := summarize(tr); err != nil {
+	var sb strings.Builder
+	if err := summarize(tr, &sb); err != nil {
 		t.Fatalf("summarize: %v", err)
+	}
+	if !strings.Contains(sb.String(), "mean avail") {
+		t.Errorf("summary missing availability line:\n%s", sb.String())
 	}
 }

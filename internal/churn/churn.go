@@ -9,7 +9,7 @@
 //     20% per day of the stable size (SYNTH-BD2 doubles that,
 //     Section 5.3).
 //
-// A Model schedules lifecycle events onto a sim.Engine and reports
+// A Model schedules lifecycle events onto a sim.Sched and reports
 // them to a Driver (the cluster under test). All models keep the alive
 // population within a constant factor of the stable size N, matching
 // the paper's system-model assumption.
@@ -45,7 +45,7 @@ type Model interface {
 	StableN() int
 	// Install creates the initial population and schedules all future
 	// churn on eng. Call exactly once.
-	Install(eng *sim.Engine, d Driver)
+	Install(eng sim.Sched, d Driver)
 	// Enroll births one extra (control-group) node immediately and
 	// subjects it to the model's ongoing churn. It returns the new
 	// node's index. Install must have been called first.
@@ -80,7 +80,7 @@ type synthModel struct {
 	classes  []sessionParams
 	classFor func(idx int) int
 
-	eng    *sim.Engine
+	eng    sim.Sched
 	driver Driver
 	rng    *rand.Rand
 	states []nodeState
@@ -162,7 +162,7 @@ func (m *synthModel) Name() string { return m.name }
 func (m *synthModel) StableN() int { return m.n }
 
 // Install implements Model.
-func (m *synthModel) Install(eng *sim.Engine, d Driver) {
+func (m *synthModel) Install(eng sim.Sched, d Driver) {
 	m.eng = eng
 	m.driver = d
 	m.rng = eng.Rand()

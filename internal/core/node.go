@@ -23,6 +23,14 @@ type Node struct {
 	ps      map[ids.ID]time.Time // monitor → discovery time
 	ts      map[ids.ID]*target   // monitored node → state
 	tsOrder []ids.ID             // discovery order, for deterministic iteration
+	psOrder []ids.ID             // discovery order, for deterministic iteration
+
+	// lastCoarseContact is the last time a message arrived that proves
+	// this node sits in some peer's coarse view (PING, CV-FETCH, a
+	// forwarded JOIN, or a PR2 request). Going long without one means
+	// the node's coarse-view indegree has likely dropped to zero — an
+	// absorbing state under STAT — and triggers a re-bootstrap.
+	lastCoarseContact time.Time
 
 	// Discovery bookkeeping for the figures: times (since birth) at
 	// which each successive PS member was discovered.
@@ -98,6 +106,7 @@ func (n *Node) Join(now time.Time, bootstrap ids.ID) {
 	n.alive = true
 	n.joinedAt = now
 	n.lastMonPingRecv = now
+	n.lastCoarseContact = now
 	n.cvPingTarget = ids.None
 	// "Inherit view from this random node": discard the stale view and
 	// fetch the bootstrap's.
@@ -144,14 +153,17 @@ func (n *Node) Handle(from ids.ID, m *Message, now time.Time) {
 	}
 	switch m.Type {
 	case MsgJoin:
+		n.lastCoarseContact = now // a forward proves CV membership
 		n.handleJoin(m)
 	case MsgPing:
+		n.lastCoarseContact = now
 		n.send(from, &Message{Type: MsgPong, Seq: m.Seq})
 	case MsgPong:
 		if from == n.cvPingTarget && m.Seq == n.cvPingSeq {
 			n.cvPingTarget = ids.None // liveness confirmed
 		}
 	case MsgCVFetch:
+		n.lastCoarseContact = now
 		n.send(from, &Message{Type: MsgCVResp, Seq: m.Seq, View: n.cv.snapshot()})
 	case MsgCVResp:
 		n.handleCVResp(from, m.View, now)
@@ -163,6 +175,7 @@ func (n *Node) Handle(from ids.ID, m *Message, now time.Time) {
 	case MsgMonAck:
 		n.handleMonAck(from, m.Seq, now)
 	case MsgPR2:
+		n.lastCoarseContact = now // the sender holds us in its CV
 		n.cv.addEvict(from, n.cfg.Rand)
 	case MsgReportReq:
 		n.send(from, &Message{Type: MsgReportResp, Seq: m.Seq, View: n.ReportMonitors(m.Count)})
@@ -223,12 +236,31 @@ func (n *Node) handleJoin(m *Message) {
 
 // --- Coarse-view maintenance and discovery (Figure 2) ----------------
 
+// rebootstrapStarvation is the number of coarse-protocol periods a
+// node waits without any incoming coarse-view contact before
+// re-bootstrapping. A node with indegree d receives an expected
+// 2·d/cvs probes or fetches per period, so a healthy node (d ≈ cvs)
+// goes 8 periods silent with probability ≈ (1 - 1/cvs)^(2·cvs·8)
+// ≈ e^-16; a node that HAS coalesced out of every coarse view stays
+// silent forever. False positives are harmless — the walk is the
+// join protocol, which the receiving side already dedupes.
+const rebootstrapStarvation = 8
+
 // Tick runs one protocol period of the coarse-membership and
 // monitor-discovery sub-protocol. The owner invokes it once every
 // Period while the node is alive.
 func (n *Node) Tick(now time.Time) {
 	if !n.alive {
 		return
+	}
+	// 0. Self-repair (not in the paper; see DESIGN.md): under STAT
+	// nothing ever re-inserts a node into other nodes' coarse views,
+	// so an emptied coarse view (outdegree 0) or a starved indegree is
+	// an absorbing state that excludes the node from all future
+	// discovery sweeps. Re-enter the overlay with a JOIN-style random
+	// walk through any contact we still know.
+	if n.cv.size() == 0 || now.Sub(n.lastCoarseContact) >= rebootstrapStarvation*n.cfg.Period {
+		n.rebootstrap(now)
 	}
 	// 1. Resolve last round's liveness probe: an unresponsive node is
 	// removed from the coarse view.
@@ -255,6 +287,34 @@ func (n *Node) Tick(now time.Time) {
 		}
 		n.lastMonPingRecv = now // back off until the next 2 periods
 	}
+}
+
+// rebootstrap re-enters the coarse overlay: a JOIN-style random walk
+// with full weight plus a view fetch, through a random coarse-view
+// member if any remain, else through a random known monitoring
+// contact (TS then PS, in discovery order — map iteration would break
+// determinism). A node that knows absolutely nobody stays quiet; it
+// can only be recovered by the cluster-level bootstrap on rejoin.
+func (n *Node) rebootstrap(now time.Time) {
+	target := n.cv.random(n.cfg.Rand)
+	if target.IsNone() {
+		total := len(n.tsOrder) + len(n.psOrder)
+		if total == 0 {
+			return
+		}
+		if i := n.cfg.Rand.Intn(total); i < len(n.tsOrder) {
+			target = n.tsOrder[i]
+		} else {
+			target = n.psOrder[i-len(n.tsOrder)]
+		}
+	}
+	// Back off for another starvation window whether or not the walk
+	// succeeds; its CV-RESP and the renewed indegree reset the clock
+	// for real.
+	n.lastCoarseContact = now
+	n.send(target, &Message{Type: MsgJoin, Subject: n.id, Weight: n.cfg.CVS})
+	n.send(target, &Message{Type: MsgCVFetch, Seq: n.nextSeq()})
+	n.cv.add(target)
 }
 
 // resizeFalse returns s resized to n elements, all false, reusing its
@@ -390,6 +450,7 @@ func (n *Node) handleNotify(u, v ids.ID, now time.Time) {
 			return
 		}
 		n.ps[u] = now
+		n.psOrder = append(n.psOrder, u)
 		since := now.Sub(n.bornAt)
 		n.psDiscoveries = append(n.psDiscoveries, since)
 	case u:

@@ -148,6 +148,7 @@ func runAllPaired(o Options, scens []scenario, groupOf func(int) int) ([]*outcom
 		func(i int) error {
 			s := scens[i]
 			s.seed = deriveSeed(o.Seed, seedIdx(i))
+			s.shards = o.Shards // byte-identical at any value
 			out, err := run(s)
 			if err != nil {
 				return err

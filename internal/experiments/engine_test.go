@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -177,5 +178,77 @@ func TestParallelMatchesSerial(t *testing.T) {
 					id, serial, parallel)
 			}
 		})
+	}
+}
+
+// TestShardedSweepMatchesSerial is the same guarantee one level down:
+// sharding a single simulation run across P engine shards
+// (Options.Shards, avmon-bench -shards) changes nothing about an
+// experiment's rendered output at any shard count.
+func TestShardedSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	for _, id := range []string{"table1", "figure3"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			render := func(shards int) string {
+				o := tinyOptions()
+				o.Shards = shards
+				res, err := Registry()[id](o)
+				if err != nil {
+					t.Fatalf("%s at shards %d: %v", id, shards, err)
+				}
+				return res.String()
+			}
+			serial := render(0)
+			for _, shards := range []int{1, 2, 8} {
+				if got := render(shards); got != serial {
+					t.Errorf("%s: output at shards=%d differs from serial\n--- serial ---\n%s\n--- shards=%d ---\n%s",
+						id, shards, serial, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestScaleShardedSpeedupColumns checks the scale experiment's sharded
+// rerun: the in-sweep serial/sharded equality assertion passes and the
+// artifact carries the speedup fields.
+func TestScaleShardedSpeedupColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	o := tinyOptions()
+	o.Shards = 2
+	res, err := Scale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := res.Artifacts[ScaleArtifactName]
+	if !ok {
+		t.Fatal("scale artifact missing")
+	}
+	var art struct {
+		HostCores int `json:"host_cores"`
+		Points    []struct {
+			Shards             int     `json:"shards"`
+			WallSecondsSharded float64 `json:"wall_seconds_sharded"`
+			Speedup            float64 `json:"speedup"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if art.HostCores < 1 {
+		t.Errorf("host_cores = %d", art.HostCores)
+	}
+	for i, p := range art.Points {
+		if p.Shards != 2 {
+			t.Errorf("point %d: shards = %d, want 2", i, p.Shards)
+		}
+		if p.WallSecondsSharded <= 0 || p.Speedup <= 0 {
+			t.Errorf("point %d: wall_seconds_sharded = %v, speedup = %v", i, p.WallSecondsSharded, p.Speedup)
+		}
 	}
 }

@@ -40,6 +40,14 @@ type Options struct {
 	// (default GOMAXPROCS). 1 forces a serial run; results are
 	// identical either way.
 	Parallelism int
+	// Shards partitions each single simulation across this many
+	// parallel engine shards (0 or 1 = the serial engine). Results are
+	// byte-identical at any value — the sharded engine's determinism
+	// contract — so this is purely a wall-clock knob, orthogonal to
+	// Parallelism (which runs independent sweep points concurrently).
+	// The scale experiment treats it specially: it runs each point
+	// both serial and sharded and reports the speedup.
+	Shards int
 	// Progress, when non-nil, receives a serialized callback each
 	// time a sweep point completes — useful for long paper-scale
 	// runs. It must not assume any completion order, and done reaches
@@ -236,6 +244,7 @@ type scenario struct {
 	controlFrac float64 // fraction of N enrolled after warm-up
 	seed        int64
 	loss        float64
+	shards      int // engine shards for this one run (0/1 = serial)
 }
 
 // outcome is the state captured from one finished run.
@@ -278,6 +287,7 @@ func run(s scenario) (*outcome, error) {
 	c, err := avmon.NewCluster(avmon.ClusterConfig{
 		N:                  s.n,
 		Seed:               s.seed,
+		Shards:             s.shards,
 		Options:            s.opts,
 		OverreportFraction: s.overreport,
 		Loss:               s.loss,

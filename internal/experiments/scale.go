@@ -56,6 +56,17 @@ type ScalePoint struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	HeapAllocMB float64 `json:"heap_alloc_mb"`
 	PeakRSSMB   float64 `json:"peak_rss_mb"`
+
+	// Sharded rerun of the same point (present when the sweep ran with
+	// Options.Shards > 1). The run is asserted byte-identical on every
+	// protocol metric above — the sharded engine's determinism
+	// contract, checked here at full scale — so only the host cost is
+	// reported. Speedup = WallSeconds / WallSecondsSharded; it exceeds
+	// 1 only when the host has cores to spare (see HostCores in the
+	// envelope).
+	Shards             int     `json:"shards,omitempty"`
+	WallSecondsSharded float64 `json:"wall_seconds_sharded,omitempty"`
+	Speedup            float64 `json:"speedup,omitempty"`
 }
 
 // scaleArtifact is the BENCH_scale.json envelope.
@@ -64,6 +75,7 @@ type scaleArtifact struct {
 	Seed       int64        `json:"seed"`
 	Scale      float64      `json:"scale"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
+	HostCores  int          `json:"host_cores,omitempty"`
 	Points     []ScalePoint `json:"points"`
 }
 
@@ -117,6 +129,29 @@ func Scale(o Options) (*Result, error) {
 				return err
 			}
 			pts[i] = scalePointMetrics(s.n, out, time.Since(start))
+			if o.Shards <= 1 {
+				return nil
+			}
+			// Rerun the identical point on the sharded engine. Beyond
+			// the speedup measurement this is the determinism contract
+			// checked at full scale: every protocol metric must match
+			// the serial run exactly, or the sweep fails.
+			s.shards = o.Shards
+			out = nil // release the serial cluster before building the next
+			start = time.Now()
+			shardedOut, err := run(s)
+			if err != nil {
+				return err
+			}
+			sharded := scalePointMetrics(s.n, shardedOut, time.Since(start))
+			if err := sameProtocolMetrics(pts[i], sharded); err != nil {
+				return fmt.Errorf("scale: sharded run diverged from serial at N=%d: %w", s.n, err)
+			}
+			pts[i].Shards = o.Shards
+			pts[i].WallSecondsSharded = sharded.WallSeconds
+			if sharded.WallSeconds > 0 {
+				pts[i].Speedup = pts[i].WallSeconds / sharded.WallSeconds
+			}
 			return nil
 		})
 	if err != nil {
@@ -129,8 +164,9 @@ func Scale(o Options) (*Result, error) {
 			"mean disc (min)", "p93 disc (s)", "B/s/node", "checks/s/node", "mem entries", "events"},
 	}
 	host := &Table{
-		Title:  "Large-N sweep: host metrics (non-deterministic, this machine)",
-		Header: []string{"N", "wall (s)", "heap alloc (MB)", "peak RSS (MB)"},
+		Title: "Large-N sweep: host metrics (non-deterministic, this machine)",
+		Header: []string{"N", "wall (s)", "heap alloc (MB)", "peak RSS (MB)",
+			"shards", "wall sharded (s)", "speedup"},
 	}
 	for _, p := range pts {
 		proto.AddRow(itoa(p.N), itoa(p.K), itoa(p.CVS),
@@ -138,7 +174,12 @@ func Scale(o Options) (*Result, error) {
 			f2(p.MeanDiscoveryMin), f2(p.P93DiscoverySec),
 			f2(p.BytesPerNodeSec), f2(p.ChecksPerNodeSec),
 			f2(p.MemoryEntriesMean), fmt.Sprintf("%d", p.Events))
-		host.AddRow(itoa(p.N), f2(p.WallSeconds), f2(p.HeapAllocMB), f2(p.PeakRSSMB))
+		shards, wallSharded, speedup := "-", "-", "-"
+		if p.Shards > 1 {
+			shards, wallSharded, speedup = itoa(p.Shards), f2(p.WallSecondsSharded), f2(p.Speedup)
+		}
+		host.AddRow(itoa(p.N), f2(p.WallSeconds), f2(p.HeapAllocMB), f2(p.PeakRSSMB),
+			shards, wallSharded, speedup)
 	}
 
 	artifact, err := json.MarshalIndent(scaleArtifact{
@@ -146,6 +187,7 @@ func Scale(o Options) (*Result, error) {
 		Seed:       o.Seed,
 		Scale:      o.Scale,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCores:  runtime.NumCPU(),
 		Points:     pts,
 	}, "", "  ")
 	if err != nil {
@@ -159,6 +201,33 @@ func Scale(o Options) (*Result, error) {
 		Tables:    []*Table{proto, host},
 		Artifacts: map[string][]byte{ScaleArtifactName: artifact},
 	}, nil
+}
+
+// sameProtocolMetrics checks the deterministic fields of two runs of
+// one sweep point; a mismatch means the sharded engine broke its
+// byte-identical contract.
+func sameProtocolMetrics(a, b ScalePoint) error {
+	type pair struct {
+		name string
+		a, b any
+	}
+	for _, p := range []pair{
+		{"k", a.K, b.K},
+		{"cvs", a.CVS, b.CVS},
+		{"control_size", a.ControlSize, b.ControlSize},
+		{"discovered", a.Discovered, b.Discovered},
+		{"mean_discovery_minutes", a.MeanDiscoveryMin, b.MeanDiscoveryMin},
+		{"p93_discovery_seconds", a.P93DiscoverySec, b.P93DiscoverySec},
+		{"bytes_out_per_node_per_second", a.BytesPerNodeSec, b.BytesPerNodeSec},
+		{"hash_checks_per_node_per_second", a.ChecksPerNodeSec, b.ChecksPerNodeSec},
+		{"memory_entries_mean", a.MemoryEntriesMean, b.MemoryEntriesMean},
+		{"events", a.Events, b.Events},
+	} {
+		if p.a != p.b {
+			return fmt.Errorf("%s: serial %v vs sharded %v", p.name, p.a, p.b)
+		}
+	}
+	return nil
 }
 
 // scalePointMetrics extracts one sweep point's metrics and lets the

@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ShardedEngine is the conservative parallel scheduler: node lanes are
+// partitioned round-robin across P worker shards, each owning a flat
+// event heap, and all shards advance in lockstep windows of width
+// equal to the engine's lookahead (the minimum cross-lane message
+// latency). Within a window each shard executes its own lanes' events
+// in canonical order; events posted across shards always fire at or
+// after the next window boundary (the lookahead guarantee), so they
+// are merged at the barrier before any shard could need them. No
+// rollback is ever required.
+//
+// Control-lane events run single-threaded at the barrier opening each
+// window, before any node-lane event of that window. Because control
+// events touch only control-owned state (churn models, the alive
+// registry, endpoint registration) and communicate with node lanes
+// exclusively through posted events, this reordering is unobservable —
+// see the package comment for the full contract.
+//
+// For one seed, a ShardedEngine run is byte-identical to a serial
+// Engine run at any shard count.
+type ShardedEngine struct {
+	now       time.Time
+	nowNanos  int64
+	lookahead int64
+	seed      int64
+
+	control    *Lane
+	controlQ   eventQueue
+	controlNow int64
+	lanes      int32
+	steps      uint64 // control steps; Steps() adds shard steps
+
+	shards  []*shard
+	inPhase bool
+	done    chan struct{}
+}
+
+type shard struct {
+	idx      int
+	queue    eventQueue
+	nowNanos int64 // timestamp of the executing event
+	limit    int64 // current window end (exclusive)
+	steps    uint64
+	outbox   [][]event // per destination shard, drained at barriers
+	start    chan int64
+	panicked any // recovered panic value, re-raised by the coordinator
+}
+
+var _ Sched = (*ShardedEngine)(nil)
+
+// NewSharded returns a parallel engine with the given shard count and
+// lookahead. The lookahead must be a positive lower bound on every
+// cross-lane post distance (for a simulated network: the minimum
+// one-way latency); the engine panics deterministically when an event
+// violates it. Seed semantics match New: the control random source and
+// per-lane sources are derived exactly as the serial engine derives
+// them, which is what makes the two engines interchangeable.
+func NewSharded(seed int64, shards int, lookahead time.Duration) (*ShardedEngine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: shard count must be ≥ 1, got %d", shards)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: lookahead must be positive, got %v", lookahead)
+	}
+	e := &ShardedEngine{
+		now:       Epoch,
+		lookahead: int64(lookahead),
+		seed:      seed,
+		control:   &Lane{id: 0, rng: rand.New(rand.NewSource(seed))},
+		done:      make(chan struct{}),
+	}
+	for i := 0; i < shards; i++ {
+		e.shards = append(e.shards, &shard{
+			idx:    i,
+			outbox: make([][]event, shards),
+			start:  make(chan int64),
+		})
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *ShardedEngine) Shards() int { return len(e.shards) }
+
+// Now returns the current virtual time: the executing control event's
+// timestamp during a barrier, the window boundary while quiescent. It
+// panics during the parallel phase — node-lane events must use the
+// time passed to their callback.
+func (e *ShardedEngine) Now() time.Time {
+	if e.inPhase {
+		panic("sim: Now() called during the parallel phase; use the event callback's now")
+	}
+	return Epoch.Add(time.Duration(e.controlNow))
+}
+
+// Elapsed returns the virtual time elapsed since Epoch: Now() - Epoch,
+// tracking the executing control event during a barrier and the
+// resting clock while quiescent (matching the serial engine).
+func (e *ShardedEngine) Elapsed() time.Duration { return time.Duration(e.controlNow) }
+
+// Rand returns the control-lane random source.
+func (e *ShardedEngine) Rand() *rand.Rand { return e.control.rng }
+
+// Steps returns the number of events executed across all shards and
+// the control lane. Valid while quiescent.
+func (e *ShardedEngine) Steps() uint64 {
+	total := e.steps
+	for _, s := range e.shards {
+		total += s.steps
+	}
+	return total
+}
+
+// Pending returns the number of queued events. Valid while quiescent.
+func (e *ShardedEngine) Pending() int {
+	n := len(e.controlQ)
+	for _, s := range e.shards {
+		n += len(s.queue)
+	}
+	return n
+}
+
+// Control returns the control lane.
+func (e *ShardedEngine) Control() *Lane { return e.control }
+
+// AddLane registers a new node lane, assigned round-robin to a shard.
+// Call from control events or while quiescent only.
+func (e *ShardedEngine) AddLane() *Lane {
+	e.lanes++
+	return &Lane{
+		id:    e.lanes,
+		shard: (e.lanes - 1) % int32(len(e.shards)),
+		rng:   CompactRand(laneSeed(e.seed, e.lanes)),
+	}
+}
+
+// LaneNow returns the lane's current virtual time: the executing
+// event's timestamp when called from the lane's own events during the
+// parallel phase, and the control clock (the executing control event's
+// time, or the resting clock) otherwise.
+func (e *ShardedEngine) LaneNow(l *Lane) time.Time {
+	if !e.inPhase {
+		return Epoch.Add(time.Duration(e.controlNow))
+	}
+	return Epoch.Add(time.Duration(e.shards[l.shard].nowNanos))
+}
+
+// Post implements Sched. Posts attributed to the control lane (src nil
+// or the control lane) go straight into the destination's heap — they
+// happen at barriers or while quiescent, when every worker is parked.
+// Posts from a node lane stay in the owning shard's heap when the
+// destination shares the shard, and are routed through an outbox —
+// after a deterministic lookahead check — otherwise.
+func (e *ShardedEngine) Post(src, dst *Lane, at time.Time, fn func(now time.Time)) {
+	if src == nil {
+		src = e.control
+	}
+	if dst == nil {
+		dst = e.control
+	}
+	nanos := int64(at.Sub(Epoch))
+	if src.id == 0 {
+		if e.inPhase {
+			panic("sim: control-lane post during the parallel phase")
+		}
+		if nanos < e.controlNow {
+			nanos = e.controlNow
+		}
+		src.seq++
+		ev := event{at: nanos, lane: dst.id, src: 0, seq: src.seq, fn: fn}
+		if dst.id == 0 {
+			e.controlQ.push(ev)
+		} else {
+			e.shards[dst.shard].queue.push(ev)
+		}
+		return
+	}
+	if dst.id == 0 {
+		panic("sim: node-lane post to the control lane")
+	}
+	s := e.shards[src.shard]
+	floor := s.nowNanos
+	if !e.inPhase && e.controlNow > floor {
+		// Quiescent post: the shard's last event may be far behind the
+		// resting clock; clamp to the engine clock like the serial
+		// engine does.
+		floor = e.controlNow
+	}
+	if nanos < floor {
+		nanos = floor
+	}
+	src.seq++
+	ev := event{at: nanos, lane: dst.id, src: src.id, seq: src.seq, fn: fn}
+	if dst.shard == src.shard || !e.inPhase {
+		// Same shard, or a quiescent post (e.g. a test sending between
+		// Run calls): the destination heap is safe to touch directly.
+		e.shards[dst.shard].queue.push(ev)
+		return
+	}
+	if nanos < s.limit {
+		panic(fmt.Sprintf(
+			"sim: cross-shard post at t=%v violates the %v lookahead (window ends %v)",
+			time.Duration(nanos), time.Duration(e.lookahead), time.Duration(s.limit)))
+	}
+	s.outbox[dst.shard] = append(s.outbox[dst.shard], ev)
+}
+
+// At schedules fn on the control lane at virtual time t.
+func (e *ShardedEngine) At(t time.Time, fn func()) {
+	e.Post(e.control, e.control, t, func(time.Time) { fn() })
+}
+
+// After schedules fn on the control lane d from now (the executing
+// control event's time, or the window boundary while quiescent).
+func (e *ShardedEngine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(Epoch.Add(time.Duration(e.controlNow)+d), fn)
+}
+
+// NewTicker schedules fn on the control lane every period.
+func (e *ShardedEngine) NewTicker(period, offset time.Duration, fn func(now time.Time)) *Ticker {
+	return newTicker(e, e.control, period, offset, fn)
+}
+
+// NewLaneTicker schedules fn on lane l every period.
+func (e *ShardedEngine) NewLaneTicker(l *Lane, period, offset time.Duration, fn func(now time.Time)) *Ticker {
+	return newTicker(e, l, period, offset, fn)
+}
+
+// minPending returns the earliest queued timestamp, or false when every
+// queue is empty. Outboxes are empty whenever this runs (they are
+// drained at each barrier).
+func (e *ShardedEngine) minPending() (int64, bool) {
+	min, ok := int64(0), false
+	consider := func(q eventQueue) {
+		if len(q) == 0 {
+			return
+		}
+		if !ok || q[0].at < min {
+			min, ok = q[0].at, true
+		}
+	}
+	consider(e.controlQ)
+	for _, s := range e.shards {
+		consider(s.queue)
+	}
+	return min, ok
+}
+
+// RunUntil executes events with timestamps ≤ deadline in canonical
+// order, advancing all shards in lockstep lookahead windows. The clock
+// is left at deadline if that is later than the last executed event.
+func (e *ShardedEngine) RunUntil(deadline time.Time) {
+	limit := int64(deadline.Sub(Epoch))
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		s := s
+		go func() {
+			defer wg.Done()
+			e.work(s)
+		}()
+	}
+	// stopWorkers is idempotent and also runs via defer when a
+	// control-lane event panics, so workers never leak parked on their
+	// start channels. It must only run between parallel phases.
+	workersUp := true
+	stopWorkers := func() {
+		if !workersUp {
+			return
+		}
+		workersUp = false
+		for _, s := range e.shards {
+			close(s.start)
+		}
+		wg.Wait()
+		for _, s := range e.shards {
+			s.start = make(chan int64)
+		}
+	}
+	defer stopWorkers()
+	winStart := e.nowNanos
+	for winStart <= limit {
+		next, ok := e.minPending()
+		if !ok {
+			break
+		}
+		if next > winStart {
+			winStart = next // idle skip: jump to the next scheduled event
+		}
+		if winStart > limit {
+			break
+		}
+		winEnd := winStart + e.lookahead
+		if winEnd > limit+1 {
+			winEnd = limit + 1
+		}
+		e.nowNanos = winStart
+		// Barrier, part 1: the window's control events, single-threaded.
+		// They may post into shard heaps (workers are parked).
+		for len(e.controlQ) > 0 && e.controlQ[0].at < winEnd {
+			ev := e.controlQ.pop()
+			e.controlNow = ev.at
+			e.steps++
+			ev.fn(Epoch.Add(time.Duration(ev.at)))
+		}
+		// Parallel phase: each shard executes its window.
+		e.inPhase = true
+		for _, s := range e.shards {
+			s.start <- winEnd
+		}
+		for range e.shards {
+			<-e.done
+		}
+		e.inPhase = false
+		for _, s := range e.shards {
+			if s.panicked != nil {
+				// Re-raise a worker panic on the calling goroutine so
+				// callers (and tests) can observe it normally; the
+				// deferred stopWorkers tears the workers down.
+				panic(s.panicked)
+			}
+		}
+		// Barrier, part 2: merge cross-shard posts into their heaps.
+		for _, s := range e.shards {
+			for d, out := range s.outbox {
+				if len(out) == 0 {
+					continue
+				}
+				for _, ev := range out {
+					e.shards[d].queue.push(ev)
+				}
+				s.outbox[d] = s.outbox[d][:0]
+			}
+		}
+		winStart = winEnd
+	}
+	stopWorkers()
+	if limit > e.nowNanos {
+		e.nowNanos = limit
+	}
+	e.now = Epoch.Add(time.Duration(e.nowNanos))
+	e.controlNow = e.nowNanos
+}
+
+// work is one shard's window loop. A panic inside an event is captured
+// and re-raised by the coordinator on the calling goroutine.
+func (e *ShardedEngine) work(s *shard) {
+	for end := range s.start {
+		if s.panicked == nil {
+			s.runWindow(end)
+		}
+		e.done <- struct{}{}
+	}
+}
+
+func (s *shard) runWindow(end int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked = r
+		}
+	}()
+	s.limit = end
+	for len(s.queue) > 0 && s.queue[0].at < end {
+		ev := s.queue.pop()
+		s.nowNanos = ev.at
+		s.steps++
+		ev.fn(Epoch.Add(time.Duration(ev.at)))
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *ShardedEngine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }

@@ -1,15 +1,40 @@
-// Package sim provides the discrete-event simulation engine that
-// drives AVMON's trace-driven evaluation (paper Section 5).
+// Package sim provides the discrete-event simulation engines that
+// drive AVMON's trace-driven evaluation (paper Section 5).
 //
-// The engine owns a virtual clock and a priority queue of events.
-// Events scheduled for the same instant fire in scheduling order,
-// making runs fully deterministic for a given seed.
+// Two engines share one canonical event order:
 //
-// The queue is a flat binary heap of by-value events keyed on
-// nanoseconds since Epoch: one comparison per level, no per-event heap
-// allocation, and no interface boxing. Large-N runs (10^5 nodes keep
-// a few hundred thousand events in flight) stay within a few tens of
-// megabytes of queue memory.
+//   - Engine is the serial scheduler: a single flat binary heap of
+//     by-value events, one goroutine, no synchronization.
+//   - ShardedEngine (sharded.go) is a conservative parallel scheduler:
+//     node lanes are partitioned across P worker shards that advance in
+//     lockstep windows bounded by the engine's lookahead (the minimum
+//     cross-lane message latency), classic conservative PDES with no
+//     rollback.
+//
+// Determinism contract. Every event belongs to a lane — an execution
+// stream owned by exactly one scheduler thread. Events are totally
+// ordered by the canonical key
+//
+//	(time, lane, local-before-remote, source lane, source seq)
+//
+// where "source seq" is a counter the posting lane increments on every
+// post. The key is a pure function of each lane's own execution
+// history, never of scheduler interleaving, so the serial and sharded
+// engines execute byte-identical runs for the same seed at any shard
+// count. The rules that make this sound:
+//
+//   - A lane's events may post to the lane itself at any time ≥ now.
+//   - A lane's events may post to another lane only at time ≥ the end
+//     of the current window (guaranteed when every cross-lane post is
+//     a message delivery with latency ≥ the lookahead). The sharded
+//     engine panics on violations.
+//   - Control-lane events (lane 0) run single-threaded at window
+//     barriers, before the window's node-lane events. They must touch
+//     only control-owned state and may post to any lane at any time
+//     ≥ their own timestamp; they must not read node-lane state.
+//   - Randomness is per-lane: draws made while a lane executes must
+//     come from that lane's Rand (or, for control events, from the
+//     engine Rand), never from another lane's.
 package sim
 
 import (
@@ -20,23 +45,135 @@ import (
 // Epoch is the virtual time origin of every simulation.
 var Epoch = time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC)
 
-// Engine is a single-threaded discrete-event scheduler. It is not safe
-// for concurrent use; all node logic runs inside event callbacks.
-type Engine struct {
-	now      time.Time
-	nowNanos int64 // now - Epoch, the queue's key space
-	queue    eventQueue
-	seq      uint64
-	rng      *rand.Rand
-	steps    uint64
+// Lane is one deterministic execution stream. Lane 0 is the control
+// lane (owned by the scheduler's coordinator); AddLane creates node
+// lanes. A Lane's seq counter and random source are owned by the
+// scheduler thread that executes the lane's events.
+type Lane struct {
+	id    int32
+	shard int32 // owning shard index (sharded engine only)
+	seq   uint64
+	rng   *rand.Rand
 }
 
-// New returns an engine whose clock starts at Epoch, with a
-// deterministic random source derived from seed.
+// ID returns the lane's stable identifier (0 = control lane).
+func (l *Lane) ID() int { return int(l.id) }
+
+// Rand returns the lane's private deterministic random source. It must
+// only be used while one of the lane's events is executing.
+func (l *Lane) Rand() *rand.Rand { return l.rng }
+
+// laneSeed derives a lane's random stream from the engine seed. The
+// mixing constant differs from the one cluster code uses for per-node
+// protocol streams, so lane streams (latency, loss) and node streams
+// never collide; CompactRand scrambles the result through splitmix64.
+func laneSeed(seed int64, id int32) int64 {
+	return seed + (int64(id)+1)*-0x61C8864680B583EB // golden-ratio odd constant
+}
+
+// Sched is the scheduling surface shared by the serial Engine and the
+// ShardedEngine. Clusters, the simulated network, and churn models are
+// written against it so one simulation runs unchanged on either.
+type Sched interface {
+	// Now returns the current virtual time. It is valid while the
+	// engine is quiescent (between Run calls) and inside control-lane
+	// events; node-lane events must use the time passed to their
+	// callback (the sharded engine panics otherwise).
+	Now() time.Time
+	// Elapsed returns Now() - Epoch.
+	Elapsed() time.Duration
+	// Steps returns the number of events executed so far, across all
+	// lanes. Valid while quiescent.
+	Steps() uint64
+	// Pending returns the number of queued events. Valid while
+	// quiescent.
+	Pending() int
+	// Rand returns the control-lane random source (valid from control
+	// events and while quiescent).
+	Rand() *rand.Rand
+	// Control returns the control lane.
+	Control() *Lane
+	// AddLane registers a new node lane. Call from control events or
+	// while quiescent only.
+	AddLane() *Lane
+	// LaneNow returns the lane's current virtual time: the timestamp
+	// of the lane's executing event, or the engine time while
+	// quiescent. Call only from the lane's own events or quiescent.
+	LaneNow(l *Lane) time.Time
+	// Post schedules fn on lane dst at time at, attributed to lane src
+	// (nil src means the control lane). Times before the source lane's
+	// current time are clamped to it. fn receives its own timestamp.
+	Post(src, dst *Lane, at time.Time, fn func(now time.Time))
+	// After schedules fn on the control lane d from now.
+	After(d time.Duration, fn func())
+	// At schedules fn on the control lane at time t.
+	At(t time.Time, fn func())
+	// NewTicker schedules fn on the control lane every period, first
+	// firing after offset.
+	NewTicker(period, offset time.Duration, fn func(now time.Time)) *Ticker
+	// NewLaneTicker is NewTicker on a node lane. Call from the lane's
+	// own events (or quiescent).
+	NewLaneTicker(l *Lane, period, offset time.Duration, fn func(now time.Time)) *Ticker
+	// RunUntil executes events in canonical order until the queue is
+	// exhausted or the next event is after deadline; the clock is left
+	// at deadline if that is later.
+	RunUntil(deadline time.Time)
+	// RunFor advances the simulation by d of virtual time.
+	RunFor(d time.Duration)
+}
+
+// event is one scheduled callback, stored by value in the heaps.
+type event struct {
+	at   int64 // nanoseconds since Epoch
+	lane int32 // destination lane
+	src  int32 // posting lane
+	seq  uint64
+	fn   func(now time.Time)
+}
+
+// before is the canonical total order: time, then destination lane,
+// then lane-local posts before cross-lane posts, then posting lane,
+// then the poster's sequence counter. Every component is a pure
+// function of deterministic per-lane execution, so serial and sharded
+// runs sort identically.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	aLocal, bLocal := a.src == a.lane, b.src == b.lane
+	if aLocal != bLocal {
+		return aLocal
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// Engine is the single-threaded scheduler. It is not safe for
+// concurrent use; all node logic runs inside event callbacks.
+type Engine struct {
+	now      time.Time
+	nowNanos int64
+	queue    eventQueue
+	control  *Lane
+	lanes    int32
+	steps    uint64
+	seed     int64
+}
+
+var _ Sched = (*Engine)(nil)
+
+// New returns a serial engine whose clock starts at Epoch, with a
+// deterministic control random source derived from seed.
 func New(seed int64) *Engine {
 	return &Engine{
-		now: Epoch,
-		rng: rand.New(rand.NewSource(seed)),
+		now:     Epoch,
+		seed:    seed,
+		control: &Lane{id: 0, rng: rand.New(rand.NewSource(seed))},
 	}
 }
 
@@ -46,32 +183,54 @@ func (e *Engine) Now() time.Time { return e.now }
 // Elapsed returns the virtual time elapsed since Epoch.
 func (e *Engine) Elapsed() time.Duration { return e.now.Sub(Epoch) }
 
-// Rand returns the engine's deterministic random source.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// Rand returns the control-lane deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.control.rng }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
-// At schedules fn to run at virtual time t. Times in the past are
-// clamped to "now" (the event runs before the clock advances further).
-func (e *Engine) At(t time.Time, fn func()) {
-	e.at(int64(t.Sub(Epoch)), fn)
+// Control returns the control lane.
+func (e *Engine) Control() *Lane { return e.control }
+
+// AddLane registers a new node lane.
+func (e *Engine) AddLane() *Lane {
+	e.lanes++
+	return &Lane{id: e.lanes, rng: CompactRand(laneSeed(e.seed, e.lanes))}
 }
 
-func (e *Engine) at(nanos int64, fn func()) {
+// LaneNow returns the current virtual time (the serial engine has one
+// clock for every lane).
+func (e *Engine) LaneNow(*Lane) time.Time { return e.now }
+
+// Post implements Sched.
+func (e *Engine) Post(src, dst *Lane, at time.Time, fn func(now time.Time)) {
+	if src == nil {
+		src = e.control
+	}
+	if dst == nil {
+		dst = e.control
+	}
+	nanos := int64(at.Sub(Epoch))
 	if nanos < e.nowNanos {
 		nanos = e.nowNanos
 	}
-	e.seq++
-	e.queue.push(event{at: nanos, seq: e.seq, fn: fn})
+	src.seq++
+	e.queue.push(event{at: nanos, lane: dst.id, src: src.id, seq: src.seq, fn: fn})
 }
 
-// After schedules fn to run d from now. Negative d is clamped to zero.
+// At schedules fn on the control lane at virtual time t. Times in the
+// past are clamped to "now".
+func (e *Engine) At(t time.Time, fn func()) {
+	e.Post(e.control, e.control, t, func(time.Time) { fn() })
+}
+
+// After schedules fn on the control lane d from now. Negative d is
+// clamped to zero.
 func (e *Engine) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.at(e.nowNanos+int64(d), fn)
+	e.At(e.now.Add(d), fn)
 }
 
 // setNow moves the clock to nanos past Epoch.
@@ -80,7 +239,7 @@ func (e *Engine) setNow(nanos int64) {
 	e.now = Epoch.Add(time.Duration(nanos))
 }
 
-// RunUntil executes events in timestamp order until the queue is empty
+// RunUntil executes events in canonical order until the queue is empty
 // or the next event is after deadline. The clock is left at deadline
 // (or at the last executed event if the queue drained earlier than
 // deadline and deadline is in the past).
@@ -93,7 +252,7 @@ func (e *Engine) RunUntil(deadline time.Time) {
 		next := e.queue.pop()
 		e.setNow(next.at)
 		e.steps++
-		next.fn()
+		next.fn(e.now)
 	}
 	if limit > e.nowNanos {
 		e.setNow(limit)
@@ -109,27 +268,12 @@ func (e *Engine) Run() {
 		next := e.queue.pop()
 		e.setNow(next.at)
 		e.steps++
-		next.fn()
+		next.fn(e.now)
 	}
 }
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
-
-// event is one scheduled callback; at is nanoseconds since Epoch and
-// seq breaks ties FIFO. Events are stored by value in the heap.
-type event struct {
-	at  int64
-	seq uint64
-	fn  func()
-}
-
-func (a event) before(b event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
 
 // eventQueue is a hand-rolled binary min-heap over by-value events
 // (container/heap would box every event through interface{}).
@@ -181,31 +325,47 @@ func (q *eventQueue) pop() event {
 // Ticker repeatedly schedules a callback with a fixed period until
 // stopped. It is the simulation analogue of time.Ticker and is used to
 // drive per-node protocol periods, which execute asynchronously across
-// nodes via per-ticker phase offsets (paper Section 3.2).
+// nodes via per-ticker phase offsets (paper Section 3.2). A ticker is
+// bound to one lane; Stop must be called from that lane's events (or
+// while the engine is quiescent).
 type Ticker struct {
-	eng     *Engine
+	s       Sched
+	lane    *Lane
 	period  time.Duration
 	fn      func(now time.Time)
 	stopped bool
 }
 
-// NewTicker schedules fn every period, with the first firing after
-// offset. Stop prevents all future firings.
+// NewTicker schedules fn on the control lane every period, with the
+// first firing after offset. Stop prevents all future firings.
 func (e *Engine) NewTicker(period, offset time.Duration, fn func(now time.Time)) *Ticker {
-	t := &Ticker{eng: e, period: period, fn: fn}
-	e.After(offset, t.fire)
+	return newTicker(e, e.control, period, offset, fn)
+}
+
+// NewLaneTicker schedules fn on lane l every period, with the first
+// firing after offset.
+func (e *Engine) NewLaneTicker(l *Lane, period, offset time.Duration, fn func(now time.Time)) *Ticker {
+	return newTicker(e, l, period, offset, fn)
+}
+
+func newTicker(s Sched, l *Lane, period, offset time.Duration, fn func(now time.Time)) *Ticker {
+	if offset < 0 {
+		offset = 0
+	}
+	t := &Ticker{s: s, lane: l, period: period, fn: fn}
+	s.Post(l, l, s.LaneNow(l).Add(offset), t.fire)
 	return t
 }
 
-func (t *Ticker) fire() {
+func (t *Ticker) fire(now time.Time) {
 	if t.stopped {
 		return
 	}
-	t.fn(t.eng.Now())
+	t.fn(now)
 	if t.stopped { // fn may have stopped the ticker
 		return
 	}
-	t.eng.After(t.period, t.fire)
+	t.s.Post(t.lane, t.lane, now.Add(t.period), t.fire)
 }
 
 // Stop cancels future firings. It is idempotent.

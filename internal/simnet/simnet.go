@@ -11,23 +11,50 @@
 // Endpoint state is held in dense indexed tables rather than maps:
 // simulated identities (ids.Sim) resolve through a flat slice indexed
 // by node number, and the alive population is a swap-remove slice, so
-// lookups and uniform alive draws are O(1) regardless of N. The
-// previous map + reservoir-sample design drew one random number per
-// alive endpoint on every bootstrap lookup — quadratic work over a
-// run at N = 100,000.
+// lookups and uniform alive draws are O(1) regardless of N.
+//
+// The network runs on any sim.Sched and follows its lane discipline,
+// which is what lets one simulation run serially or sharded with
+// byte-identical results:
+//
+//   - Each endpoint owns one lane; its message handler and delivery
+//     events execute on that lane, and its latency/loss draws come
+//     from that lane's private random stream.
+//   - Aliveness is two copies: the registry (the dense alive table
+//     behind RandomAlive/AliveCount, mutated only from control-lane
+//     lifecycle events) and the per-endpoint delivery flag (mutated
+//     only on the endpoint's own lane). Both transition at the same
+//     virtual times; each is read only by its owner.
+//   - Whether a message was "useless" (sent toward a dead node) is
+//     decided at delivery time on the destination lane — the only
+//     point where the destination's liveness is deterministically
+//     known to a parallel scheduler — and recorded on the sender's
+//     counters with atomic adds (several destination shards may
+//     classify one sender's messages concurrently).
 package simnet
 
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"avmon/internal/ids"
 	"avmon/internal/sim"
 )
 
-// Handler receives a delivered message at an endpoint.
-type Handler func(from ids.ID, msg any, size int)
+// Handler receives a delivered message at an endpoint, on the
+// endpoint's lane, at virtual time now.
+type Handler func(from ids.ID, msg any, size int, now time.Time)
+
+// UndeliveredFunc observes a message that could not be delivered (the
+// "useless" traffic of Figure 18). For a known-but-dead destination it
+// runs on the destination's lane at delivery time; for a destination
+// that was never attached there is no lane to deliver on, so it runs
+// synchronously on the sender's lane at send time. Implementations
+// must therefore assume no particular lane and touch shared state
+// atomically.
+type UndeliveredFunc func(from *Endpoint, to ids.ID, msg any, size int)
 
 // LatencyFunc draws a one-way delivery latency.
 type LatencyFunc func(rng *rand.Rand) time.Duration
@@ -50,33 +77,38 @@ func UniformLatency(lo, hi time.Duration) LatencyFunc {
 	}
 }
 
-// Counters accumulates per-endpoint traffic statistics.
+// Counters accumulates per-endpoint traffic statistics. UselessMsgs
+// and UselessBytes are maintained with atomic adds (see the package
+// comment); the rest are owned by a single lane.
 type Counters struct {
 	MsgsOut      uint64 // messages sent
 	MsgsIn       uint64 // messages delivered
 	BytesOut     uint64 // bytes sent (counted even if the peer is dead)
 	BytesIn      uint64 // bytes delivered
-	UselessMsgs  uint64 // messages sent to a currently-dead destination
+	UselessMsgs  uint64 // messages that found their destination dead
 	UselessBytes uint64 // bytes of such messages
 	Dropped      uint64 // messages lost to random loss injection
 }
 
 // Network connects endpoints through a shared discrete-event engine.
 type Network struct {
-	eng     *sim.Engine
-	latency LatencyFunc
-	loss    float64
+	eng         sim.Sched
+	latency     LatencyFunc
+	loss        float64
+	undelivered UndeliveredFunc
 
 	bySim  []*Endpoint          // dense table indexed by ids.SimIndex
 	others map[ids.ID]*Endpoint // non-simulated identities (lazily built)
 	order  []*Endpoint          // attachment order, for deterministic iteration
-	alive  []*Endpoint          // current alive set, swap-remove maintained
+	alive  []*Endpoint          // registry: current alive set, swap-remove maintained
 }
 
 // Option configures a Network.
 type Option func(*Network)
 
 // WithLatency sets the one-way latency model (default: constant 50ms).
+// Under a sharded engine the minimum possible latency must be at least
+// the engine's lookahead.
 func WithLatency(l LatencyFunc) Option {
 	return func(n *Network) { n.latency = l }
 }
@@ -88,8 +120,14 @@ func WithLoss(p float64) Option {
 	return func(n *Network) { n.loss = p }
 }
 
+// WithUndelivered registers a callback for messages that found their
+// destination dead or unknown at delivery time.
+func WithUndelivered(fn UndeliveredFunc) Option {
+	return func(n *Network) { n.undelivered = fn }
+}
+
 // New creates a network on the given engine.
-func New(eng *sim.Engine, opts ...Option) *Network {
+func New(eng sim.Sched, opts ...Option) *Network {
 	n := &Network{
 		eng:     eng,
 		latency: ConstantLatency(50 * time.Millisecond),
@@ -100,8 +138,8 @@ func New(eng *sim.Engine, opts ...Option) *Network {
 	return n
 }
 
-// Engine returns the underlying simulation engine.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Engine returns the underlying simulation scheduler.
+func (n *Network) Engine() sim.Sched { return n.eng }
 
 // lookup resolves an identity to its endpoint (nil if unknown).
 func (n *Network) lookup(id ids.ID) *Endpoint {
@@ -115,8 +153,10 @@ func (n *Network) lookup(id ids.ID) *Endpoint {
 }
 
 // Attach registers a new endpoint with the given identity and message
-// handler. The endpoint starts dead; call SetAlive(true) to bring it
-// up. Attaching a duplicate identity is a programming error.
+// handler, on a fresh lane. The endpoint starts dead; call SetAlive
+// (or the registry/flag pair) to bring it up. Attach only from
+// control-lane events or while the engine is quiescent. Attaching a
+// duplicate identity is a programming error.
 func (n *Network) Attach(id ids.ID, h Handler) (*Endpoint, error) {
 	if id.IsNone() {
 		return nil, fmt.Errorf("simnet: cannot attach the None identity")
@@ -124,7 +164,7 @@ func (n *Network) Attach(id ids.ID, h Handler) (*Endpoint, error) {
 	if n.lookup(id) != nil {
 		return nil, fmt.Errorf("simnet: endpoint %v already attached", id)
 	}
-	ep := &Endpoint{net: n, id: id, handler: h, alivePos: -1}
+	ep := &Endpoint{net: n, id: id, handler: h, lane: n.eng.AddLane(), alivePos: -1}
 	if idx, ok := ids.SimIndex(id); ok {
 		for len(n.bySim) <= idx {
 			n.bySim = append(n.bySim, nil)
@@ -141,36 +181,37 @@ func (n *Network) Attach(id ids.ID, h Handler) (*Endpoint, error) {
 }
 
 // Alive reports whether the identified endpoint exists and is up. It
-// is the experiment oracle (e.g. for counting useless pings); protocol
-// code must not use it.
+// is the experiment oracle; protocol code must not use it, and under a
+// sharded engine it is valid only while the engine is quiescent.
 func (n *Network) Alive(id ids.ID) bool {
 	ep := n.lookup(id)
 	return ep != nil && ep.alive
 }
 
-// AliveCount returns the number of currently-alive endpoints.
+// AliveCount returns the number of endpoints in the alive registry.
 func (n *Network) AliveCount() int { return len(n.alive) }
 
-// AliveIDs returns the identities of all currently-alive endpoints,
-// in attachment order.
+// AliveIDs returns the identities of all registry-alive endpoints, in
+// attachment order.
 func (n *Network) AliveIDs() []ids.ID {
 	out := make([]ids.ID, 0, len(n.alive))
 	for _, ep := range n.order {
-		if ep.alive {
+		if ep.alivePos >= 0 {
 			out = append(out, ep.id)
 		}
 	}
 	return out
 }
 
-// RandomAlive returns a uniformly random alive endpoint identity other
-// than exclude, or None if there is no such endpoint. It is used as
-// the bootstrap oracle for the join protocol ("Pick a random node y",
-// Figure 1). One random draw against the dense alive set, regardless
-// of N.
+// RandomAlive returns a uniformly random registry-alive endpoint
+// identity other than exclude, or None if there is no such endpoint.
+// It is the bootstrap oracle for the join protocol ("Pick a random
+// node y", Figure 1): one random draw from the control stream against
+// the dense alive registry, regardless of N. Call only from
+// control-lane events or while quiescent.
 func (n *Network) RandomAlive(exclude ids.ID) ids.ID {
 	count := len(n.alive)
-	if ex := n.lookup(exclude); ex != nil && ex.alive {
+	if ex := n.lookup(exclude); ex != nil && ex.alivePos >= 0 {
 		if count <= 1 {
 			return ids.None
 		}
@@ -191,26 +232,41 @@ func (n *Network) RandomAlive(exclude ids.ID) ids.ID {
 type Endpoint struct {
 	net      *Network
 	id       ids.ID
-	alive    bool
-	alivePos int // index in net.alive while alive, -1 otherwise
+	lane     *sim.Lane
+	alive    bool // delivery flag, owned by the endpoint's lane
+	alivePos int  // registry: index in net.alive while alive, -1 otherwise
 	handler  Handler
 	counters Counters
+	tag      any
 }
 
 // ID returns the endpoint's identity.
 func (ep *Endpoint) ID() ids.ID { return ep.id }
 
-// Alive reports whether the endpoint is up.
+// Lane returns the endpoint's execution lane.
+func (ep *Endpoint) Lane() *sim.Lane { return ep.lane }
+
+// SetTag attaches opaque caller state to the endpoint (readable from
+// UndeliveredFunc callbacks). Set it before the endpoint first sends.
+func (ep *Endpoint) SetTag(tag any) { ep.tag = tag }
+
+// Tag returns the caller state attached with SetTag.
+func (ep *Endpoint) Tag() any { return ep.tag }
+
+// Alive reports the endpoint's delivery flag.
 func (ep *Endpoint) Alive() bool { return ep.alive }
 
-// SetAlive brings the endpoint up or down. Messages in flight toward a
-// downed endpoint are silently dropped at delivery time (crash-stop,
-// Section 3).
-func (ep *Endpoint) SetAlive(alive bool) {
-	if ep.alive == alive {
+// Registered reports whether the endpoint is in the alive registry
+// (the control-lane view of its liveness).
+func (ep *Endpoint) Registered() bool { return ep.alivePos >= 0 }
+
+// SetAliveRegistry adds the endpoint to or removes it from the alive
+// registry behind RandomAlive/AliveCount. Call only from control-lane
+// events or while quiescent.
+func (ep *Endpoint) SetAliveRegistry(alive bool) {
+	if (ep.alivePos >= 0) == alive {
 		return
 	}
-	ep.alive = alive
 	n := ep.net
 	if alive {
 		ep.alivePos = len(n.alive)
@@ -226,41 +282,78 @@ func (ep *Endpoint) SetAlive(alive bool) {
 	ep.alivePos = -1
 }
 
+// SetAliveFlag raises or lowers the delivery flag. Call only from the
+// endpoint's own lane (or while quiescent). Messages in flight toward
+// a downed endpoint are silently dropped at delivery time (crash-stop,
+// Section 3).
+func (ep *Endpoint) SetAliveFlag(alive bool) { ep.alive = alive }
+
+// SetAlive updates the registry and the delivery flag together — the
+// convenience form for tests and single-threaded harnesses, valid
+// while the engine is quiescent. The cluster driver instead updates
+// the registry from its control-lane lifecycle events and posts the
+// flag change to the endpoint's lane at the same virtual time.
+func (ep *Endpoint) SetAlive(alive bool) {
+	ep.SetAliveRegistry(alive)
+	ep.SetAliveFlag(alive)
+}
+
 // Counters returns a snapshot of the endpoint's traffic counters.
-func (ep *Endpoint) Counters() Counters { return ep.counters }
+// Valid while the engine is quiescent.
+func (ep *Endpoint) Counters() Counters {
+	c := ep.counters
+	c.UselessMsgs = atomic.LoadUint64(&ep.counters.UselessMsgs)
+	c.UselessBytes = atomic.LoadUint64(&ep.counters.UselessBytes)
+	return c
+}
 
 // ResetCounters zeroes the traffic counters (used at the end of
-// experiment warm-up).
+// experiment warm-up). Valid while the engine is quiescent.
 func (ep *Endpoint) ResetCounters() { ep.counters = Counters{} }
 
-// Send transmits msg of the given wire size to the identified peer.
-// Sends from a dead endpoint are ignored. Delivery happens after the
-// network's latency draw, iff the destination is alive at that time.
+// Send transmits msg of the given wire size to the identified peer,
+// from the sender's lane at the sender's current virtual time. Sends
+// from a dead endpoint are ignored. Delivery happens on the
+// destination's lane after the network's latency draw, iff the
+// destination is alive at that time; a dead (or unknown) destination
+// is charged to the sender's useless counters at that point.
 func (ep *Endpoint) Send(to ids.ID, msg any, size int) {
 	if !ep.alive {
 		return
 	}
 	ep.counters.MsgsOut++
 	ep.counters.BytesOut += uint64(size)
-	if dst := ep.net.lookup(to); dst == nil || !dst.alive {
-		ep.counters.UselessMsgs++
-		ep.counters.UselessBytes += uint64(size)
-		// The message still leaves the sender's NIC; it is simply
-		// never delivered.
+	dst := ep.net.lookup(to)
+	if dst == nil {
+		// The message still leaves the sender's NIC; there is no lane
+		// to deliver on, so the useless classification happens here.
+		ep.chargeUseless(to, msg, size)
+		return
 	}
-	if ep.net.loss > 0 && ep.net.eng.Rand().Float64() < ep.net.loss {
+	if ep.net.loss > 0 && ep.lane.Rand().Float64() < ep.net.loss {
 		ep.counters.Dropped++
 		return
 	}
-	from := ep.id
-	d := ep.net.latency(ep.net.eng.Rand())
-	ep.net.eng.After(d, func() {
-		dst := ep.net.lookup(to)
-		if dst == nil || !dst.alive {
+	from := ep
+	now := ep.net.eng.LaneNow(ep.lane)
+	d := ep.net.latency(ep.lane.Rand())
+	ep.net.eng.Post(ep.lane, dst.lane, now.Add(d), func(now time.Time) {
+		if !dst.alive {
+			from.chargeUseless(to, msg, size)
 			return
 		}
 		dst.counters.MsgsIn++
 		dst.counters.BytesIn += uint64(size)
-		dst.handler(from, msg, size)
+		dst.handler(from.id, msg, size, now)
 	})
+}
+
+// chargeUseless records an undeliverable message on the sender's
+// counters. It may run on any destination lane, hence the atomics.
+func (ep *Endpoint) chargeUseless(to ids.ID, msg any, size int) {
+	atomic.AddUint64(&ep.counters.UselessMsgs, 1)
+	atomic.AddUint64(&ep.counters.UselessBytes, uint64(size))
+	if ep.net.undelivered != nil {
+		ep.net.undelivered(ep, to, msg, size)
+	}
 }

@@ -19,12 +19,12 @@ func newPair(t *testing.T, eng *sim.Engine, opts ...Option) (*Network, *Endpoint
 	t.Helper()
 	n := New(eng, opts...)
 	var got []rec
-	a, err := n.Attach(ids.Sim(1), func(ids.ID, any, int) {})
+	a, err := n.Attach(ids.Sim(1), func(ids.ID, any, int, time.Time) {})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := n.Attach(ids.Sim(2), func(from ids.ID, msg any, size int) {
-		got = append(got, rec{from, msg, size, eng.Elapsed()})
+	b, err := n.Attach(ids.Sim(2), func(from ids.ID, msg any, size int, now time.Time) {
+		got = append(got, rec{from, msg, size, now.Sub(sim.Epoch)})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,9 +79,43 @@ func TestNodeDiesWhileMessageInFlight(t *testing.T) {
 	if len(*got) != 0 {
 		t.Fatal("in-flight message delivered to node that died")
 	}
-	// Not counted useless at send time (it was alive then).
-	if a.Counters().UselessMsgs != 0 {
-		t.Error("message to then-alive node counted as useless")
+	// Uselessness is decided at delivery time — the only point where
+	// the destination's liveness is deterministically known to a
+	// sharded scheduler — so a message whose destination died in
+	// flight IS charged to the sender (it was never delivered).
+	if a.Counters().UselessMsgs != 1 {
+		t.Error("message undelivered due to in-flight death not counted as useless")
+	}
+}
+
+func TestUndeliveredCallback(t *testing.T) {
+	eng := sim.New(1)
+	type miss struct {
+		from *Endpoint
+		to   ids.ID
+		size int
+	}
+	var misses []miss
+	_, a, b, _ := newPair(t, eng, WithUndelivered(func(from *Endpoint, to ids.ID, _ any, size int) {
+		misses = append(misses, miss{from, to, size})
+	}))
+	a.SetTag("sender-a")
+	b.SetAlive(false)
+	a.Send(b.ID(), "x", 8)          // known but dead: classified at delivery
+	a.Send(ids.Sim(99), "y", 4)     // unknown: classified at send
+	eng.Run()
+	if len(misses) != 2 {
+		t.Fatalf("undelivered callback fired %d times, want 2", len(misses))
+	}
+	for _, m := range misses {
+		if m.from != a || m.from.Tag() != "sender-a" {
+			t.Errorf("undelivered from = %v (tag %v), want endpoint a", m.from.ID(), m.from.Tag())
+		}
+	}
+	if misses[0].to != ids.Sim(99) || misses[1].to != b.ID() {
+		// The unknown destination is charged synchronously at send
+		// time; the dead-but-known one at delivery time.
+		t.Errorf("undelivered order = %v, %v", misses[0].to, misses[1].to)
 	}
 }
 
@@ -147,10 +181,10 @@ func TestAttachValidation(t *testing.T) {
 	if _, err := n.Attach(ids.None, nil); err == nil {
 		t.Error("Attach(None) succeeded")
 	}
-	if _, err := n.Attach(ids.Sim(1), func(ids.ID, any, int) {}); err != nil {
+	if _, err := n.Attach(ids.Sim(1), func(ids.ID, any, int, time.Time) {}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Attach(ids.Sim(1), func(ids.ID, any, int) {}); err == nil {
+	if _, err := n.Attach(ids.Sim(1), func(ids.ID, any, int, time.Time) {}); err == nil {
 		t.Error("duplicate Attach succeeded")
 	}
 }
@@ -179,7 +213,7 @@ func TestRandomAlive(t *testing.T) {
 	n := New(eng)
 	var eps []*Endpoint
 	for i := 0; i < 10; i++ {
-		ep, err := n.Attach(ids.Sim(i), func(ids.ID, any, int) {})
+		ep, err := n.Attach(ids.Sim(i), func(ids.ID, any, int, time.Time) {})
 		if err != nil {
 			t.Fatal(err)
 		}
