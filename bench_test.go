@@ -51,6 +51,11 @@ func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 // real sweep: go run ./cmd/avmon-bench -run scale
 func BenchmarkScale(b *testing.B) { benchExperiment(b, "scale") }
 
+// BenchmarkWan runs the heterogeneous-WAN sweep (lognormal and
+// zone-matrix latency × loss regimes) at a reduced size. The real
+// sweep: go run ./cmd/avmon-bench -run wan
+func BenchmarkWan(b *testing.B) { benchExperiment(b, "wan") }
+
 // BenchmarkFigure3 regenerates Figure 3 (average discovery time of
 // first monitors vs N, STAT/SYNTH/SYNTH-BD).
 func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }

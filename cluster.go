@@ -78,12 +78,28 @@ type ClusterConfig struct {
 	// OverreportFraction makes this fraction of nodes report 100%
 	// availability for everything they monitor (Figure 20's attack).
 	OverreportFraction float64
-	// Latency is the constant one-way message latency (default 50ms).
-	// Under sharding it is also the engine's lookahead window.
+	// Latency is the constant one-way message latency (default 50ms),
+	// used when LatencyModel is nil.
 	Latency time.Duration
+	// LatencyModel, when non-nil, replaces the constant Latency with a
+	// heterogeneous one-way latency distribution (lognormal, zone
+	// matrix, …; see NewLognormalLatency and NewZoneLatency). Under
+	// sharding the engine's lookahead window adapts to the model's
+	// provable floor, MinLatency() — the adaptive-lookahead contract —
+	// so the floor must be positive for Shards > 1. All draws come
+	// from the sender's lane stream, so results stay byte-identical at
+	// any shard count.
+	LatencyModel LatencyModel
 	// Loss is an independent per-message drop probability, for
-	// failure-injection testing (default 0).
+	// failure-injection testing (default 0), used when LossModel is
+	// nil.
 	Loss float64
+	// LossModel, when non-nil, replaces the independent Loss
+	// probability with a stateful loss process (e.g. Gilbert-Elliott
+	// burst loss; see NewGilbertElliottLoss). Per-sender channel state
+	// is owned by the sender's lane, preserving determinism under
+	// sharding.
+	LossModel LossModel
 }
 
 // Traffic is a snapshot of one node's network counters.
@@ -207,11 +223,30 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	latency := cfg.LatencyModel
+	if latency == nil {
+		if latency, err = simnet.NewConstantLatency(cfg.Latency); err != nil {
+			return nil, fmt.Errorf("avmon: %w", err)
+		}
+	}
+	loss := cfg.LossModel
+	if loss == nil && cfg.Loss > 0 {
+		if loss, err = simnet.NewBernoulliLoss(cfg.Loss); err != nil {
+			return nil, fmt.Errorf("avmon: %w", err)
+		}
+	}
 	var eng sim.Sched
 	if cfg.Shards > 1 {
-		// The constant message latency is the minimum cross-node event
-		// distance, hence exactly the conservative lookahead.
-		sharded, err := sim.NewSharded(cfg.Seed, cfg.Shards, cfg.Latency)
+		// Adaptive lookahead: the latency model's provable floor is the
+		// minimum cross-node event distance, hence exactly the
+		// conservative window width. A model without a positive floor
+		// cannot run sharded.
+		floor := latency.MinLatency()
+		if floor <= 0 {
+			return nil, fmt.Errorf(
+				"avmon: latency model %T declares no positive MinLatency floor; cannot shard", latency)
+		}
+		sharded, err := sim.NewSharded(cfg.Seed, cfg.Shards, floor)
 		if err != nil {
 			return nil, fmt.Errorf("avmon: %w", err)
 		}
@@ -227,10 +262,13 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 		k:      k,
 		cvs:    cfg.Options.cvsFor(cfg.N),
 	}
-	c.net = simnet.New(eng,
-		simnet.WithLatency(simnet.ConstantLatency(cfg.Latency)),
-		simnet.WithLoss(cfg.Loss),
+	c.net, err = simnet.New(eng,
+		simnet.WithLatencyModel(latency),
+		simnet.WithLossModel(loss),
 		simnet.WithUndelivered(c.undelivered))
+	if err != nil {
+		return nil, fmt.Errorf("avmon: %w", err)
+	}
 	model.Install(eng, c)
 	return c, nil
 }

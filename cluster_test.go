@@ -294,11 +294,33 @@ func clusterFingerprint(t *testing.T, cfg ClusterConfig, mk func() (ChurnModel, 
 	return sb.String()
 }
 
+// mustLatency unwraps a latency-model constructor in tests.
+func mustLatency(t *testing.T, mk func() (LatencyModel, error)) LatencyModel {
+	t.Helper()
+	m, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mustLoss unwraps a loss-model constructor in tests.
+func mustLoss(t *testing.T, mk func() (LossModel, error)) LossModel {
+	t.Helper()
+	m, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // TestShardedClusterMatchesSerial is the tentpole's acceptance
 // contract at the cluster level: for one seed, a sharded run is
 // byte-identical to the serial run at any shard count — including
-// under churn, message loss, forgetful pinging, and overreporters,
-// which together exercise every random stream and lifecycle path.
+// under churn, message loss, forgetful pinging, overreporters, and
+// the heterogeneous WAN network models (lognormal and zone-matrix
+// latency with adaptive lookahead, Gilbert-Elliott burst loss), which
+// together exercise every random stream and lifecycle path.
 func TestShardedClusterMatchesSerial(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -322,6 +344,42 @@ func TestShardedClusterMatchesSerial(t *testing.T) {
 			name: "OV-trace",
 			cfg:  ClusterConfig{Seed: 23},
 			mk:   func() (ChurnModel, error) { return NewOvernetModel(60, 2*time.Hour, 23) },
+		},
+		{
+			// Lognormal latency: the sharded lookahead adapts to the
+			// 20ms floor (not the old constant 50ms), and every latency
+			// draw comes from the sender's lane stream. Gilbert-Elliott
+			// adds per-sender bursty loss state on the same lane.
+			name: "WAN-lognormal-GE-burst",
+			cfg: ClusterConfig{
+				N: 90, Seed: 24,
+				LatencyModel: mustLatency(t, func() (LatencyModel, error) {
+					return NewLognormalLatency(20*time.Millisecond, 60*time.Millisecond, 0.7, 2*time.Second)
+				}),
+				LossModel: mustLoss(t, func() (LossModel, error) {
+					return NewGilbertElliottLoss(0.02, 0.25, 0.001, 0.3)
+				}),
+				Options: NodeOptions{Forgetful: true},
+			},
+			mk: func() (ChurnModel, error) { return NewSYNTHBDModel(90, 0.3, 0.3) },
+		},
+		{
+			// Zone-matrix latency: three zones with asymmetric one-way
+			// base latencies and multiplicative jitter; the lookahead
+			// adapts to the smallest matrix entry (10ms).
+			name: "WAN-zones",
+			cfg: ClusterConfig{
+				N: 100, Seed: 25,
+				LatencyModel: mustLatency(t, func() (LatencyModel, error) {
+					return NewZoneLatency([][]time.Duration{
+						{10 * time.Millisecond, 80 * time.Millisecond, 150 * time.Millisecond},
+						{85 * time.Millisecond, 15 * time.Millisecond, 200 * time.Millisecond},
+						{140 * time.Millisecond, 210 * time.Millisecond, 12 * time.Millisecond},
+					}, 0.25)
+				}),
+				Loss: 0.02,
+			},
+			mk: func() (ChurnModel, error) { return NewSYNTHModel(100, 0.2) },
 		},
 	} {
 		tc := tc

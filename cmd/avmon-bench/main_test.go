@@ -10,6 +10,10 @@ func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatalf("-list failed: %v", err)
 	}
+	// `-run list` is an alias for -list, not an unknown experiment.
+	if err := run([]string{"-run", "list"}); err != nil {
+		t.Fatalf("-run list failed: %v", err)
+	}
 }
 
 func TestRunRequiresID(t *testing.T) {

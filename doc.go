@@ -22,20 +22,64 @@
 //
 // # Quick start (simulated cluster)
 //
-//	cfg := avmon.ClusterConfig{N: 100, Seed: 1}
-//	cl, err := avmon.NewCluster(cfg, avmon.NewSTATModel(100))
+// A Cluster is a fully simulated deployment: a deterministic
+// discrete-event engine, a simulated network, a churn model, and one
+// protocol node per host. Everything is a pure function of the seed:
+//
+//	cfg := avmon.ClusterConfig{N: 200, Seed: 1}
+//	cl, err := avmon.NewCluster(cfg, avmon.NewSTATModel(200))
 //	if err != nil { ... }
-//	cl.Run(30 * time.Minute)
-//	ps := cl.MonitorsOf(0) // who monitors node 0?
+//	cl.Run(30 * time.Minute)     // simulated time, sub-second wall time
+//	ps := cl.MonitorsOf(0)       // who monitors node 0?
+//	st := cl.Stats(0)            // traffic, discovery times, uptime
+//
+// # Heterogeneous WAN networks
+//
+// The default network is a constant 50 ms per message. Realistic
+// wide-area scenarios replace it with a heterogeneous latency model
+// and a loss process (ClusterConfig.LatencyModel / LossModel):
+//
+//	lat, _ := avmon.NewLognormalLatency(
+//	    5*time.Millisecond,   // floor: propagation delay, provable minimum
+//	    60*time.Millisecond,  // median of the queueing tail
+//	    0.6,                  // lognormal shape
+//	    2*time.Second)        // cap
+//	loss, _ := avmon.NewGilbertElliottLoss(0.02, 0.25, 0.001, 0.3)
+//	cl, err := avmon.NewCluster(avmon.ClusterConfig{
+//	    N: 200, Seed: 1, Shards: 8,
+//	    LatencyModel: lat, LossModel: loss,
+//	}, avmon.NewSTATModel(200))
+//
+// Every model declares a provable floor (LatencyModel.MinLatency).
+// With Shards > 1 the run is partitioned across parallel engine
+// shards whose conservative lookahead window adapts to that floor —
+// and the results are byte-identical to the serial run at any shard
+// count, because all latency and loss randomness is drawn from the
+// sending node's private lane stream (see DESIGN.md, "Parallel
+// simulation" and "Network models").
+//
+// # Determinism contract
+//
+// For one ClusterConfig (including Seed), every protocol-observable
+// quantity — monitor sets, traffic counters, discovery times, event
+// counts — is identical across runs, across Shards values, and across
+// experiment-engine parallelism. Randomness is never shared between
+// execution lanes; anything that would observe scheduler interleaving
+// is either owned by the control lane or forbidden (the engine panics
+// on violations).
 //
 // # Real deployment
 //
 // Service runs the same protocol over UDP; see NewService and
-// cmd/avmon-node.
+// cmd/avmon-node. Because the simulated and real runners execute the
+// identical single-threaded core (internal/core), simulation results
+// transfer to deployments by construction.
 //
-// Subpackages under internal implement the protocol core, the
-// discrete-event simulator, churn models and trace substrates, the
-// baseline schemes the paper compares against, and one experiment
-// generator per table and figure in the paper (see DESIGN.md and
+// Subpackages under internal implement the protocol core, the serial
+// and sharded discrete-event engines (internal/sim), the simulated
+// network and its WAN models (internal/simnet), churn models and trace
+// substrates, the baseline schemes the paper compares against, and one
+// experiment generator per table and figure in the paper plus the
+// beyond-paper scale and wan sweeps (see DESIGN.md and
 // EXPERIMENTS.md).
 package avmon

@@ -1,0 +1,197 @@
+package avmon
+
+// Documentation lints, run as ordinary tests (and by the CI docs job):
+// every exported identifier in the packages whose contracts carry
+// determinism/lane obligations must have a doc comment, and the
+// top-level markdown files must not contain dangling relative links.
+// Both checks use only the standard library, so they cost nothing to
+// run anywhere `go test` runs.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docCheckedPackages are the directories whose exported surface makes
+// determinism/lane promises and therefore must document them. Keep in
+// sync with the CI docs job and the godoc-audit note in DESIGN.md.
+var docCheckedPackages = []string{".", "internal/sim", "internal/simnet"}
+
+// TestDocComments fails for every exported top-level declaration
+// (type, func, method, const, var) in docCheckedPackages that lacks a
+// doc comment.
+func TestDocComments(t *testing.T) {
+	for _, dir := range docCheckedPackages {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pkg := range pkgs {
+				for _, file := range pkg.Files {
+					for _, decl := range file.Decls {
+						for _, miss := range undocumented(decl) {
+							pos := fset.Position(miss.pos)
+							t.Errorf("%s:%d: exported %s has no doc comment",
+								pos.Filename, pos.Line, miss.name)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// missing names one undocumented exported declaration.
+type missing struct {
+	name string
+	pos  token.Pos
+}
+
+// undocumented returns the exported names declared by decl that carry
+// no doc comment (neither on the declaration group nor on the spec).
+func undocumented(decl ast.Decl) []missing {
+	var out []missing
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		if d.Doc == nil {
+			out = append(out, missing{name: funcLabel(d), pos: d.Pos()})
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					out = append(out, missing{name: "type " + s.Name.Name, pos: s.Pos()})
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						out = append(out, missing{name: name.Name, pos: name.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether a method's receiver type is
+// exported (methods on unexported types are internal surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true // be conservative: lint it
+		}
+	}
+}
+
+// funcLabel renders "func Name" or "method (T).Name" for messages.
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "func " + d.Name.Name
+	}
+	return "method " + d.Name.Name
+}
+
+// checkedMarkdown are the user-facing documents whose links must not
+// dangle.
+var checkedMarkdown = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks fails for every relative markdown link in
+// checkedMarkdown whose target file does not exist, or whose #anchor
+// does not match a heading in the target document.
+func TestMarkdownLinks(t *testing.T) {
+	for _, doc := range checkedMarkdown {
+		doc := doc
+		t.Run(doc, func(t *testing.T) {
+			data, err := os.ReadFile(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+				target := m[1]
+				if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+					strings.HasPrefix(target, "mailto:") {
+					continue // external links are out of scope (no network in CI)
+				}
+				file, anchor, _ := strings.Cut(target, "#")
+				if file == "" {
+					file = doc // intra-document anchor
+				}
+				path := filepath.Join(filepath.Dir(doc), file)
+				if _, err := os.Stat(path); err != nil {
+					t.Errorf("%s: link target %q does not exist", doc, target)
+					continue
+				}
+				if anchor != "" && strings.HasSuffix(strings.ToLower(file), ".md") {
+					if !hasAnchor(t, path, anchor) {
+						t.Errorf("%s: anchor %q not found in %s", doc, anchor, file)
+					}
+				}
+			}
+		})
+	}
+}
+
+// hasAnchor reports whether the markdown file contains a heading whose
+// GitHub-style slug equals anchor.
+func hasAnchor(t *testing.T, path, anchor string) bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		if slugify(heading) == strings.ToLower(anchor) {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase,
+// drop everything but letters/digits/spaces/hyphens, spaces to
+// hyphens.
+func slugify(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteRune('-')
+		}
+	}
+	return sb.String()
+}

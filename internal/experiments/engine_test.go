@@ -184,12 +184,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 // TestShardedSweepMatchesSerial is the same guarantee one level down:
 // sharding a single simulation run across P engine shards
 // (Options.Shards, avmon-bench -shards) changes nothing about an
-// experiment's rendered output at any shard count.
+// experiment's rendered output at any shard count. The wan experiment
+// covers the heterogeneous latency/loss models, whose sharded runs use
+// each model's MinLatency floor as the adaptive lookahead.
 func TestShardedSweepMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	for _, id := range []string{"table1", "figure3"} {
+	for _, id := range []string{"table1", "figure3", "wan"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			render := func(shards int) string {

@@ -161,6 +161,7 @@ func Registry() map[string]Runner {
 	return map[string]Runner{
 		"table1":   Table1,
 		"scale":    Scale,
+		"wan":      Wan,
 		"figure3":  Figure3,
 		"figure4":  Figure4,
 		"figure5":  Figure5,
@@ -244,7 +245,9 @@ type scenario struct {
 	controlFrac float64 // fraction of N enrolled after warm-up
 	seed        int64
 	loss        float64
-	shards      int // engine shards for this one run (0/1 = serial)
+	latModel    avmon.LatencyModel // nil = constant 50ms
+	lossModel   avmon.LossModel    // nil = Bernoulli(loss)
+	shards      int                // engine shards for this one run (0/1 = serial)
 }
 
 // outcome is the state captured from one finished run.
@@ -291,6 +294,8 @@ func run(s scenario) (*outcome, error) {
 		Options:            s.opts,
 		OverreportFraction: s.overreport,
 		Loss:               s.loss,
+		LatencyModel:       s.latModel,
+		LossModel:          s.lossModel,
 	}, model)
 	if err != nil {
 		return nil, err

@@ -58,11 +58,15 @@ var _ Sched = (*ShardedEngine)(nil)
 
 // NewSharded returns a parallel engine with the given shard count and
 // lookahead. The lookahead must be a positive lower bound on every
-// cross-lane post distance (for a simulated network: the minimum
-// one-way latency); the engine panics deterministically when an event
-// violates it. Seed semantics match New: the control random source and
-// per-lane sources are derived exactly as the serial engine derives
-// them, which is what makes the two engines interchangeable.
+// cross-lane post distance — for a simulated network, the latency
+// model's provable floor (simnet.LatencyModel.MinLatency; the cluster
+// passes exactly that, which is what makes heterogeneous WAN latency
+// models shardable). The engine panics deterministically when an
+// event violates the bound, and simnet.New rejects a latency model
+// whose floor is below the engine's Lookahead before a run can start.
+// Seed semantics match New: the control random source and per-lane
+// sources are derived exactly as the serial engine derives them, which
+// is what makes the two engines interchangeable.
 func NewSharded(seed int64, shards int, lookahead time.Duration) (*ShardedEngine, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("sim: shard count must be ≥ 1, got %d", shards)
@@ -89,6 +93,13 @@ func NewSharded(seed int64, shards int, lookahead time.Duration) (*ShardedEngine
 
 // Shards returns the shard count.
 func (e *ShardedEngine) Shards() int { return len(e.shards) }
+
+// Lookahead returns the engine's conservative window width: the
+// guaranteed minimum cross-lane post distance this engine was built
+// with. Layers that generate cross-lane traffic (e.g. a simulated
+// network's latency model) must prove a floor of at least this value —
+// simnet.New rejects a latency model whose MinLatency is smaller.
+func (e *ShardedEngine) Lookahead() time.Duration { return time.Duration(e.lookahead) }
 
 // Now returns the current virtual time: the executing control event's
 // timestamp during a barrier, the window boundary while quiescent. It

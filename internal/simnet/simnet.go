@@ -56,7 +56,10 @@ type Handler func(from ids.ID, msg any, size int, now time.Time)
 // atomically.
 type UndeliveredFunc func(from *Endpoint, to ids.ID, msg any, size int)
 
-// LatencyFunc draws a one-way delivery latency.
+// LatencyFunc draws a one-way delivery latency. It declares no floor,
+// so a network configured with one (WithLatency) runs only on the
+// serial engine; sharded runs need a LatencyModel with a provable
+// MinLatency (see netmodel.go).
 type LatencyFunc func(rng *rand.Rand) time.Duration
 
 // ConstantLatency returns a LatencyFunc that always yields d.
@@ -93,31 +96,62 @@ type Counters struct {
 // Network connects endpoints through a shared discrete-event engine.
 type Network struct {
 	eng         sim.Sched
-	latency     LatencyFunc
-	loss        float64
+	latency     LatencyModel
+	loss        LossModel // nil = lossless (no draw per send)
 	undelivered UndeliveredFunc
 
 	bySim  []*Endpoint          // dense table indexed by ids.SimIndex
 	others map[ids.ID]*Endpoint // non-simulated identities (lazily built)
 	order  []*Endpoint          // attachment order, for deterministic iteration
 	alive  []*Endpoint          // registry: current alive set, swap-remove maintained
+
+	lossErr error // deferred WithLoss validation error, surfaced by New
 }
 
 // Option configures a Network.
 type Option func(*Network)
 
-// WithLatency sets the one-way latency model (default: constant 50ms).
-// Under a sharded engine the minimum possible latency must be at least
-// the engine's lookahead.
+// WithLatency sets the one-way latency distribution from a bare draw
+// function (default: constant 50ms). The func form declares no floor
+// (MinLatency 0), so it is valid only on the serial engine — New
+// rejects it under a sharded one. Use WithLatencyModel for anything
+// that must run sharded.
 func WithLatency(l LatencyFunc) Option {
-	return func(n *Network) { n.latency = l }
+	return func(n *Network) { n.latency = funcLatency{fn: l} }
 }
 
-// WithLoss sets an independent per-message drop probability in [0, 1).
-// The paper assumes reliable links; loss injection exists for failure
-// testing of the protocol's robustness.
+// WithLatencyModel sets the one-way latency model (default: constant
+// 50ms). Under a sharded engine the model's MinLatency() must be at
+// least the engine's lookahead window; New enforces this.
+func WithLatencyModel(m LatencyModel) Option {
+	return func(n *Network) { n.latency = m }
+}
+
+// WithLoss sets an independent (Bernoulli) per-message drop
+// probability in [0, 1). The paper assumes reliable links; loss
+// injection exists for failure testing of the protocol's robustness.
+// Probabilities outside [0, 1) are a programming error surfaced by
+// New.
 func WithLoss(p float64) Option {
-	return func(n *Network) { n.loss = p }
+	return func(n *Network) {
+		if p == 0 {
+			n.loss = nil
+			return
+		}
+		m, err := NewBernoulliLoss(p)
+		if err != nil {
+			n.lossErr = err
+			return
+		}
+		n.loss = m
+	}
+}
+
+// WithLossModel sets the loss process (default: lossless). Per-sender
+// evolving state (e.g. the Gilbert-Elliott channel state) lives in the
+// endpoint; the model itself must be immutable.
+func WithLossModel(m LossModel) Option {
+	return func(n *Network) { n.loss = m }
 }
 
 // WithUndelivered registers a callback for messages that found their
@@ -126,16 +160,30 @@ func WithUndelivered(fn UndeliveredFunc) Option {
 	return func(n *Network) { n.undelivered = fn }
 }
 
-// New creates a network on the given engine.
-func New(eng sim.Sched, opts ...Option) *Network {
-	n := &Network{
-		eng:     eng,
-		latency: ConstantLatency(50 * time.Millisecond),
-	}
+// New creates a network on the given engine. It enforces the
+// adaptive-lookahead contract at construction time: when the engine is
+// sharded (it exposes a Lookahead), the latency model's MinLatency()
+// must be at least the engine's lookahead window — otherwise a latency
+// draw could post a delivery inside the current window, which the
+// engine would punish with a deterministic panic mid-run. Rejecting
+// the pairing here turns that runtime violation into an error.
+func New(eng sim.Sched, opts ...Option) (*Network, error) {
+	n := &Network{eng: eng}
+	n.latency, _ = NewConstantLatency(50 * time.Millisecond)
 	for _, o := range opts {
 		o(n)
 	}
-	return n
+	if n.lossErr != nil {
+		return nil, n.lossErr
+	}
+	if la, ok := eng.(interface{ Lookahead() time.Duration }); ok {
+		if floor := n.latency.MinLatency(); floor < la.Lookahead() {
+			return nil, fmt.Errorf(
+				"simnet: latency model floor %v below the sharded engine's %v lookahead",
+				floor, la.Lookahead())
+		}
+	}
+	return n, nil
 }
 
 // Engine returns the underlying simulation scheduler.
@@ -233,8 +281,9 @@ type Endpoint struct {
 	net      *Network
 	id       ids.ID
 	lane     *sim.Lane
-	alive    bool // delivery flag, owned by the endpoint's lane
-	alivePos int  // registry: index in net.alive while alive, -1 otherwise
+	alive    bool      // delivery flag, owned by the endpoint's lane
+	alivePos int       // registry: index in net.alive while alive, -1 otherwise
+	lossSt   LossState // loss-process state, owned by the endpoint's lane
 	handler  Handler
 	counters Counters
 	tag      any
@@ -330,13 +379,13 @@ func (ep *Endpoint) Send(to ids.ID, msg any, size int) {
 		ep.chargeUseless(to, msg, size)
 		return
 	}
-	if ep.net.loss > 0 && ep.lane.Rand().Float64() < ep.net.loss {
+	if ep.net.loss != nil && ep.net.loss.Drop(&ep.lossSt, ep.lane.Rand()) {
 		ep.counters.Dropped++
 		return
 	}
 	from := ep
 	now := ep.net.eng.LaneNow(ep.lane)
-	d := ep.net.latency(ep.lane.Rand())
+	d := ep.net.latency.Latency(ep.id, to, ep.lane.Rand())
 	ep.net.eng.Post(ep.lane, dst.lane, now.Add(d), func(now time.Time) {
 		if !dst.alive {
 			from.chargeUseless(to, msg, size)

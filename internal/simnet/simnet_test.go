@@ -17,7 +17,10 @@ type rec struct {
 
 func newPair(t *testing.T, eng *sim.Engine, opts ...Option) (*Network, *Endpoint, *Endpoint, *[]rec) {
 	t.Helper()
-	n := New(eng, opts...)
+	n, err := New(eng, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var got []rec
 	a, err := n.Attach(ids.Sim(1), func(ids.ID, any, int, time.Time) {})
 	if err != nil {
@@ -101,8 +104,8 @@ func TestUndeliveredCallback(t *testing.T) {
 	}))
 	a.SetTag("sender-a")
 	b.SetAlive(false)
-	a.Send(b.ID(), "x", 8)          // known but dead: classified at delivery
-	a.Send(ids.Sim(99), "y", 4)     // unknown: classified at send
+	a.Send(b.ID(), "x", 8)      // known but dead: classified at delivery
+	a.Send(ids.Sim(99), "y", 4) // unknown: classified at send
 	eng.Run()
 	if len(misses) != 2 {
 		t.Fatalf("undelivered callback fired %d times, want 2", len(misses))
@@ -177,7 +180,10 @@ func TestLossInjection(t *testing.T) {
 
 func TestAttachValidation(t *testing.T) {
 	eng := sim.New(1)
-	n := New(eng)
+	n, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := n.Attach(ids.None, nil); err == nil {
 		t.Error("Attach(None) succeeded")
 	}
@@ -210,7 +216,10 @@ func TestAliveOracle(t *testing.T) {
 
 func TestRandomAlive(t *testing.T) {
 	eng := sim.New(3)
-	n := New(eng)
+	n, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var eps []*Endpoint
 	for i := 0; i < 10; i++ {
 		ep, err := n.Attach(ids.Sim(i), func(ids.ID, any, int, time.Time) {})
