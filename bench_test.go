@@ -56,6 +56,11 @@ func BenchmarkScale(b *testing.B) { benchExperiment(b, "scale") }
 // sweep: go run ./cmd/avmon-bench -run wan
 func BenchmarkWan(b *testing.B) { benchExperiment(b, "wan") }
 
+// BenchmarkSkew runs the hot-shard scheduler A/B sweep (lane
+// rebalancing off vs on over the HOTSPOT population) at a reduced
+// size. The real sweep: go run ./cmd/avmon-bench -run skew
+func BenchmarkSkew(b *testing.B) { benchExperiment(b, "skew") }
+
 // BenchmarkFigure3 regenerates Figure 3 (average discovery time of
 // first monitors vs N, STAT/SYNTH/SYNTH-BD).
 func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }

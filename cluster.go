@@ -45,6 +45,18 @@ func NewMixedModel(nStable, nFlaky int) (ChurnModel, error) {
 	return churn.NewMixed(churn.MixedConfig{NStable: nStable, NFlaky: nFlaky})
 }
 
+// NewHotspotModel returns a deliberately skewed population for
+// scheduler experiments (the `skew` sweep): every stride-th node is
+// "hot" (always up, carrying essentially all protocol traffic), the
+// rest are "cold" (down ≈95% of the time). The model births nodes in
+// index order, so node i owns lane i+1 and — under the round-robin
+// lane partition with stride equal to the shard count — every hot node
+// lands on shard 0: the adversarial assignment that lane rebalancing
+// exists to fix.
+func NewHotspotModel(n, stride int) (ChurnModel, error) {
+	return churn.NewHotspot(churn.HotspotConfig{N: n, Stride: stride})
+}
+
 // NewPlanetLabModel returns a trace-driven model over a synthetic
 // PlanetLab-like availability trace (N hosts, 1-second granularity,
 // ≈91% availability; see DESIGN.md for the substitution rationale).
@@ -58,6 +70,33 @@ func NewPlanetLabModel(n int, duration time.Duration, seed int64) (ChurnModel, e
 func NewOvernetModel(n int, duration time.Duration, seed int64) (ChurnModel, error) {
 	return trace.NewModel(trace.GenerateOvernet(n, duration, seed))
 }
+
+// SchedulerConfig tunes the sharded engine's adaptive scheduler: lane
+// rebalancing across shards, dynamic per-window lookahead horizons,
+// and barrier batching. The zero value reproduces the original static
+// scheduler (lockstep windows, a coordinator barrier per window, no
+// migration). Every setting is a pure wall-clock knob: results are
+// byte-identical to the serial engine under any configuration.
+type SchedulerConfig = sim.SchedulerConfig
+
+// SchedStats is a snapshot of the sharded engine's scheduler counters:
+// windows and barriers executed, lane migrations, and per-shard
+// steps/busy-time (see Cluster.SchedStats).
+type SchedStats = sim.SchedStats
+
+// ShardStats describes one shard's share of a sharded run (lanes
+// owned, events executed, busy wall-clock time).
+type ShardStats = sim.ShardStats
+
+// DefaultSchedulerConfig returns the scheduler a sharded cluster runs
+// with unless ClusterConfig.Scheduler says otherwise: dynamic
+// lookahead, barrier batching, and lane rebalancing all enabled.
+func DefaultSchedulerConfig() SchedulerConfig { return sim.DefaultSchedulerConfig() }
+
+// StaticSchedulerConfig returns the all-off scheduler baseline:
+// lockstep windows exactly one lookahead wide, a coordinator barrier
+// after every window, round-robin lane assignment forever.
+func StaticSchedulerConfig() SchedulerConfig { return sim.StaticSchedulerConfig() }
 
 // ClusterConfig parameterizes a simulated AVMON deployment.
 type ClusterConfig struct {
@@ -73,6 +112,12 @@ type ClusterConfig struct {
 	// simulation). For one seed, results are byte-identical at any
 	// value — see DESIGN.md, "Parallel simulation".
 	Shards int
+	// Scheduler tunes the sharded engine's per-barrier decisions (lane
+	// rebalancing, dynamic lookahead, barrier batching — see DESIGN.md,
+	// "Shard scheduler"). nil selects DefaultSchedulerConfig; an
+	// explicit zero value selects the static baseline. Ignored when
+	// Shards ≤ 1. Results are byte-identical under any setting.
+	Scheduler *SchedulerConfig
 	// Options are the per-node protocol knobs.
 	Options NodeOptions
 	// OverreportFraction makes this fraction of nodes report 100%
@@ -236,6 +281,7 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 		}
 	}
 	var eng sim.Sched
+	var sharded *sim.ShardedEngine
 	if cfg.Shards > 1 {
 		// Adaptive lookahead: the latency model's provable floor is the
 		// minimum cross-node event distance, hence exactly the
@@ -246,7 +292,11 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 			return nil, fmt.Errorf(
 				"avmon: latency model %T declares no positive MinLatency floor; cannot shard", latency)
 		}
-		sharded, err := sim.NewSharded(cfg.Seed, cfg.Shards, floor)
+		sched := sim.DefaultSchedulerConfig()
+		if cfg.Scheduler != nil {
+			sched = *cfg.Scheduler
+		}
+		sharded, err = sim.NewShardedWithScheduler(cfg.Seed, cfg.Shards, floor, sched)
 		if err != nil {
 			return nil, fmt.Errorf("avmon: %w", err)
 		}
@@ -268,6 +318,12 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 		simnet.WithUndelivered(c.undelivered))
 	if err != nil {
 		return nil, fmt.Errorf("avmon: %w", err)
+	}
+	if sharded != nil {
+		// Dynamic-lookahead plumbing: the network exports the
+		// conservative bound on its own cross-lane traffic, and the
+		// scheduler widens per-shard horizons with it.
+		sharded.SetCrossLaneBound(c.net.CrossLaneBound)
 	}
 	model.Install(eng, c)
 	return c, nil
@@ -445,6 +501,19 @@ func (c *Cluster) Steps() uint64 { return c.eng.Steps() }
 
 // Shards returns the configured shard count (1 = serial engine).
 func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// SchedStats returns the sharded engine's scheduler counters (windows,
+// barriers, migrations, per-shard steps and busy time); ok is false
+// for a serial cluster, which has no scheduler. Valid while the engine
+// is quiescent. Windows/barriers/migrations are deterministic for a
+// fixed (Seed, Shards, Scheduler); per-shard busy times are host
+// measurements.
+func (c *Cluster) SchedStats() (SchedStats, bool) {
+	if e, ok := c.eng.(*sim.ShardedEngine); ok {
+		return e.SchedStats(), true
+	}
+	return SchedStats{}, false
+}
 
 // Scheme returns the cluster's selection scheme.
 func (c *Cluster) Scheme() SelectionScheme { return c.scheme }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -34,6 +35,37 @@ func TestRunBadNs(t *testing.T) {
 	}
 	if err := run([]string{"-run", "figure3", "-ns", "0"}); err == nil {
 		t.Error("non-positive -ns accepted")
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	for _, arg := range []string{"", "default", "static", "none", "all",
+		"rebalance", "dynamic", "batch", "rebalance,batch", "dynamic, batch"} {
+		if _, err := parseSched(arg); err != nil {
+			t.Errorf("parseSched(%q) failed: %v", arg, err)
+		}
+	}
+	cfg, err := parseSched("rebalance,dynamic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RebalanceThreshold <= 0 || !cfg.DynamicLookahead || cfg.BatchWindows > 1 {
+		t.Errorf("composed -sched config wrong: %+v", cfg)
+	}
+	if cfg, _ := parseSched("default"); cfg != nil {
+		t.Error("-sched default should leave the engine default (nil override)")
+	}
+}
+
+func TestRunBadSched(t *testing.T) {
+	err := run([]string{"-run", "figure3", "-sched", "turbo"})
+	if err == nil {
+		t.Fatal("unknown -sched mode accepted")
+	}
+	for _, mode := range schedModes {
+		if !strings.Contains(err.Error(), mode) {
+			t.Errorf("-sched error %q does not list valid mode %q", err, mode)
+		}
 	}
 }
 

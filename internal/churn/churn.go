@@ -80,6 +80,12 @@ type synthModel struct {
 	classes  []sessionParams
 	classFor func(idx int) int
 
+	// orderedJoin makes Install birth the initial population in index
+	// order with evenly spaced (rather than random) offsets, so node
+	// index i always lands on simulation lane i+1. Used by NewHotspot,
+	// whose whole point is a known index → lane → shard mapping.
+	orderedJoin bool
+
 	eng    sim.Sched
 	driver Driver
 	rng    *rand.Rand
@@ -167,10 +173,16 @@ func (m *synthModel) Install(eng sim.Sched, d Driver) {
 	m.driver = d
 	m.rng = eng.Rand()
 	// Stagger initial joins across one minute so protocol periods are
-	// asynchronous from the start.
+	// asynchronous from the start (evenly when the model needs births
+	// in index order, uniformly at random otherwise).
 	for i := 0; i < m.n; i++ {
 		idx := m.newNode()
-		delay := time.Duration(m.rng.Int63n(int64(time.Minute)))
+		var delay time.Duration
+		if m.orderedJoin {
+			delay = time.Duration(i) * (time.Minute / time.Duration(m.n))
+		} else {
+			delay = time.Duration(m.rng.Int63n(int64(time.Minute)))
+		}
 		eng.After(delay, func() { m.birth(idx) })
 	}
 	if m.birthRate > 0 {

@@ -1,0 +1,67 @@
+package churn
+
+import (
+	"fmt"
+	"time"
+)
+
+// HotspotConfig parameterizes the deliberately skewed population used
+// by scheduler experiments (the `skew` sweep): a minority of "hot"
+// nodes that never leave, interleaved at a fixed stride through a
+// majority of "cold" nodes that are down most of the time.
+type HotspotConfig struct {
+	// N is the total population (hot + cold).
+	N int
+	// Stride places a hot node at every index ≡ 0 (mod Stride); the
+	// remaining indexes are cold. Because the model births nodes in
+	// index order, node i always owns simulation lane i+1, so under a
+	// round-robin lane partition with Stride == shard count every hot
+	// node lands on shard 0 — the adversarial assignment that lane
+	// rebalancing exists to fix. Must be ≥ 2.
+	Stride int
+	// ColdSession is the cold class's mean session length (default
+	// 90s); ColdDowntime its mean downtime (default 200h). The
+	// defaults make a cold node join once, linger briefly, and stay
+	// gone for the rest of any realistic horizon, so once the coarse
+	// overlay evicts it its lane receives essentially nothing.
+	ColdSession  time.Duration
+	ColdDowntime time.Duration
+}
+
+// NewHotspot returns the hot-shard skew model behind the `skew`
+// experiment. Hot nodes (every Stride-th index) are born once and
+// never leave — they carry essentially all protocol traffic — while
+// cold nodes churn with long downtimes and contribute almost nothing.
+// Unlike the other synthetic models, the initial population is born in
+// index order so the index → lane mapping is exact (see
+// HotspotConfig.Stride).
+func NewHotspot(cfg HotspotConfig) (Model, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("churn: N must be positive, got %d", cfg.N)
+	}
+	if cfg.Stride < 2 {
+		return nil, fmt.Errorf("churn: hotspot stride must be ≥ 2, got %d", cfg.Stride)
+	}
+	if cfg.ColdSession <= 0 {
+		cfg.ColdSession = 90 * time.Second
+	}
+	if cfg.ColdDowntime <= 0 {
+		cfg.ColdDowntime = 200 * time.Hour
+	}
+	stride := cfg.Stride
+	return &synthModel{
+		name: "HOTSPOT",
+		n:    cfg.N,
+		classes: []sessionParams{
+			{meanSession: 0}, // hot: sessions never end
+			{meanSession: cfg.ColdSession, meanDown: cfg.ColdDowntime},
+		},
+		classFor: func(idx int) int {
+			if idx%stride == 0 {
+				return 0
+			}
+			return 1
+		},
+		orderedJoin: true,
+	}, nil
+}

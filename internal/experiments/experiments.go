@@ -48,6 +48,12 @@ type Options struct {
 	// The scale experiment treats it specially: it runs each point
 	// both serial and sharded and reports the speedup.
 	Shards int
+	// Scheduler overrides the sharded engine's scheduler configuration
+	// for every sharded run (nil = the engine default; avmon-bench
+	// -sched). Like Shards it never changes results, only wall-clock
+	// behavior; the skew experiment ignores it (its whole sweep is a
+	// scheduler A/B comparison).
+	Scheduler *avmon.SchedulerConfig
 	// Progress, when non-nil, receives a serialized callback each
 	// time a sweep point completes — useful for long paper-scale
 	// runs. It must not assume any completion order, and done reaches
@@ -162,6 +168,7 @@ func Registry() map[string]Runner {
 		"table1":   Table1,
 		"scale":    Scale,
 		"wan":      Wan,
+		"skew":     Skew,
 		"figure3":  Figure3,
 		"figure4":  Figure4,
 		"figure5":  Figure5,
@@ -213,6 +220,7 @@ const (
 	modelSYNTHBD2
 	modelPL
 	modelOV
+	modelHotspot
 )
 
 func (k modelKind) String() string {
@@ -229,6 +237,8 @@ func (k modelKind) String() string {
 		return "PL"
 	case modelOV:
 		return "OV"
+	case modelHotspot:
+		return "HOTSPOT"
 	default:
 		return "?"
 	}
@@ -248,6 +258,8 @@ type scenario struct {
 	latModel    avmon.LatencyModel // nil = constant 50ms
 	lossModel   avmon.LossModel    // nil = Bernoulli(loss)
 	shards      int                // engine shards for this one run (0/1 = serial)
+	sched       *avmon.SchedulerConfig
+	stride      int // hotspot stride (modelHotspot only)
 }
 
 // outcome is the state captured from one finished run.
@@ -275,6 +287,8 @@ func (s scenario) model(horizon time.Duration) (avmon.ChurnModel, error) {
 		return avmon.NewPlanetLabModel(s.n, horizon, s.seed)
 	case modelOV:
 		return avmon.NewOvernetModel(s.n, horizon, s.seed)
+	case modelHotspot:
+		return avmon.NewHotspotModel(s.n, s.stride)
 	default:
 		return nil, fmt.Errorf("experiments: unknown model kind %d", s.kind)
 	}
@@ -291,6 +305,7 @@ func run(s scenario) (*outcome, error) {
 		N:                  s.n,
 		Seed:               s.seed,
 		Shards:             s.shards,
+		Scheduler:          s.sched,
 		Options:            s.opts,
 		OverreportFraction: s.overreport,
 		Loss:               s.loss,

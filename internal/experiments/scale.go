@@ -67,6 +67,16 @@ type ScalePoint struct {
 	Shards             int     `json:"shards,omitempty"`
 	WallSecondsSharded float64 `json:"wall_seconds_sharded,omitempty"`
 	Speedup            float64 `json:"speedup,omitempty"`
+
+	// Scheduler counters of the sharded rerun (see avmon.SchedStats):
+	// coordinator barriers, executed windows, lane migrations, and
+	// per-shard busy wall-clock — the measurables behind the adaptive
+	// scheduler's wins across the bench trajectory. Barriers/windows/
+	// migrations are deterministic; busy times describe the host.
+	BarriersSharded   uint64  `json:"barriers_sharded,omitempty"`
+	WindowsSharded    uint64  `json:"windows_sharded,omitempty"`
+	MigrationsSharded uint64  `json:"migrations_sharded,omitempty"`
+	ShardBusyNS       []int64 `json:"shard_busy_ns,omitempty"`
 }
 
 // scaleArtifact is the BENCH_scale.json envelope.
@@ -137,6 +147,7 @@ func Scale(o Options) (*Result, error) {
 			// checked at full scale: every protocol metric must match
 			// the serial run exactly, or the sweep fails.
 			s.shards = o.Shards
+			s.sched = o.Scheduler
 			out = nil // release the serial cluster before building the next
 			start = time.Now()
 			shardedOut, err := run(s)
@@ -152,6 +163,14 @@ func Scale(o Options) (*Result, error) {
 			if sharded.WallSeconds > 0 {
 				pts[i].Speedup = pts[i].WallSeconds / sharded.WallSeconds
 			}
+			if st, ok := shardedOut.c.SchedStats(); ok {
+				pts[i].BarriersSharded = st.Barriers
+				pts[i].WindowsSharded = st.Windows
+				pts[i].MigrationsSharded = st.Migrations
+				for _, sh := range st.PerShard {
+					pts[i].ShardBusyNS = append(pts[i].ShardBusyNS, sh.BusyNS)
+				}
+			}
 			return nil
 		})
 	if err != nil {
@@ -166,7 +185,7 @@ func Scale(o Options) (*Result, error) {
 	host := &Table{
 		Title: "Large-N sweep: host metrics (non-deterministic, this machine)",
 		Header: []string{"N", "wall (s)", "heap alloc (MB)", "peak RSS (MB)",
-			"shards", "wall sharded (s)", "speedup"},
+			"shards", "wall sharded (s)", "speedup", "barriers", "windows"},
 	}
 	for _, p := range pts {
 		proto.AddRow(itoa(p.N), itoa(p.K), itoa(p.CVS),
@@ -174,12 +193,13 @@ func Scale(o Options) (*Result, error) {
 			f2(p.MeanDiscoveryMin), f2(p.P93DiscoverySec),
 			f2(p.BytesPerNodeSec), f2(p.ChecksPerNodeSec),
 			f2(p.MemoryEntriesMean), fmt.Sprintf("%d", p.Events))
-		shards, wallSharded, speedup := "-", "-", "-"
+		shards, wallSharded, speedup, barriers, windows := "-", "-", "-", "-", "-"
 		if p.Shards > 1 {
 			shards, wallSharded, speedup = itoa(p.Shards), f2(p.WallSecondsSharded), f2(p.Speedup)
+			barriers, windows = u64(p.BarriersSharded), u64(p.WindowsSharded)
 		}
 		host.AddRow(itoa(p.N), f2(p.WallSeconds), f2(p.HeapAllocMB), f2(p.PeakRSSMB),
-			shards, wallSharded, speedup)
+			shards, wallSharded, speedup, barriers, windows)
 	}
 
 	artifact, err := json.MarshalIndent(scaleArtifact{

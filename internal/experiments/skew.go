@@ -1,0 +1,271 @@
+package experiments
+
+// The skew experiment (beyond the paper): the sharded engine's
+// round-robin lane partition assumes load is spread evenly across
+// lanes. A skewed population — here the HOTSPOT churn model, which
+// pins every hot, always-up node onto shard 0 while the other shards
+// own near-idle cold lanes — makes that assumption maximally wrong:
+// one shard does essentially all the work and the barrier-synchronized
+// peers idle through every window. This sweep runs the identical
+// workload (same derived seed) with lane rebalancing off and on and
+// reports what the scheduler layer is for: per-shard executed-event
+// and busy-time balance, barrier/window counts, and migrations. The
+// canonical event order is shard-assignment-independent, so the sweep
+// also *asserts* that every protocol-visible metric is identical
+// between the two runs — rebalancing is proven to change only the
+// load distribution.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"avmon"
+	"avmon/internal/stats"
+)
+
+// SkewArtifactName is the machine-readable output of the skew
+// experiment (written next to the tables by avmon-bench, checked into
+// the repo like BENCH_scale.json).
+const SkewArtifactName = "BENCH_skew.json"
+
+// skewDefaultN is the population when Options.Ns is not set.
+const skewDefaultN = 400
+
+// skewDefaultShards is the shard count when Options.Shards is not set
+// (the sweep is meaningless on the serial engine).
+const skewDefaultShards = 4
+
+// SkewPoint is one (rebalance off/on) cell of the skew sweep as
+// serialized into BENCH_skew.json. The scheduler counters (Barriers,
+// Windows, Migrations, ShardSteps, StepsImbalance) and the protocol
+// metrics are deterministic functions of (Options, Rebalance);
+// ShardBusyNS and WallSeconds describe the host.
+type SkewPoint struct {
+	Rebalance bool `json:"rebalance"`
+
+	N      int `json:"n"`
+	Shards int `json:"shards"`
+	Stride int `json:"stride"`
+
+	Barriers   uint64 `json:"barriers"`
+	Windows    uint64 `json:"windows"`
+	Migrations uint64 `json:"migrations"`
+	LanesMoved uint64 `json:"lanes_moved"`
+
+	ShardSteps  []uint64 `json:"shard_steps"`
+	ShardBusyNS []int64  `json:"shard_busy_ns"`
+	// StepsImbalance is max/mean over per-shard executed events — 1.0
+	// is perfect balance, the shard count is the worst case
+	// (deterministic). BusyImbalance is the same ratio over measured
+	// busy time (host-dependent).
+	StepsImbalance float64 `json:"steps_imbalance"`
+	BusyImbalance  float64 `json:"busy_imbalance"`
+
+	// Protocol metrics, asserted identical between the off and on
+	// points (the determinism contract under lane migration).
+	Events          uint64  `json:"events"`
+	AliveCount      int     `json:"alive"`
+	PSFill          float64 `json:"ps_fill"`
+	BytesPerNodeSec float64 `json:"bytes_out_per_node_per_second"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// skewArtifact is the BENCH_skew.json envelope.
+type skewArtifact struct {
+	Experiment string      `json:"experiment"`
+	Seed       int64       `json:"seed"`
+	Scale      float64     `json:"scale"`
+	N          int         `json:"n"`
+	Shards     int         `json:"shards"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	HostCores  int         `json:"host_cores,omitempty"`
+	Points     []SkewPoint `json:"points"`
+}
+
+// Skew runs the hot-shard population with lane rebalancing off and on
+// (same derived seed, same shard count — Options.Shards, default 4)
+// and reports per-shard load balance, scheduler counters, and the
+// wall-clock cost, plus the BENCH_skew.json artifact. It returns an
+// error if any protocol metric differs between the two runs: lane
+// migration must be invisible to results.
+func Skew(o Options) (*Result, error) {
+	o = o.withDefaults()
+	n := skewDefaultN
+	if len(o.Ns) > 0 {
+		n = o.Ns[0]
+	}
+	shards := o.Shards
+	if shards <= 1 {
+		shards = skewDefaultShards
+	}
+	if n < 2*shards {
+		return nil, fmt.Errorf("skew: N=%d too small for stride %d (need ≥ %d)", n, shards, 2*shards)
+	}
+	// Both points run the full adaptive scheduler except for the knob
+	// under test, so the reported delta isolates rebalancing. The
+	// aggressive window/threshold make migration respond within a tiny
+	// smoke run as well as a full one.
+	off := avmon.DefaultSchedulerConfig()
+	off.RebalanceThreshold = 0
+	on := avmon.DefaultSchedulerConfig()
+	on.RebalanceThreshold = 1.2
+	on.RebalanceWindow = 4
+	scheds := []*avmon.SchedulerConfig{&off, &on}
+	scens := make([]scenario, len(scheds))
+	for i, sched := range scheds {
+		scens[i] = scenario{
+			kind: modelHotspot,
+			n:    n,
+			// Forgetful pinging lets monitoring back off from the
+			// long-dead cold nodes; without it their lanes keep
+			// receiving useless-ping deliveries forever and the skew
+			// the model is built to produce washes out.
+			opts:    avmon.NodeOptions{Forgetful: true},
+			stride:  shards,
+			warmup:  o.scaled(10*time.Minute, 4*time.Minute),
+			measure: o.scaled(30*time.Minute, 8*time.Minute),
+			shards:  shards,
+			sched:   sched,
+		}
+	}
+	pts := make([]SkewPoint, len(scens))
+	err := forEachPoint(o, len(scens),
+		func(i int) string { return fmt.Sprintf("skew rebalance=%t", i == 1) },
+		func(i int) error {
+			s := scens[i]
+			// One shared seed: both points face the identical workload,
+			// so the off/on delta is a paired comparison.
+			s.seed = deriveSeed(o.Seed, 0)
+			start := time.Now()
+			out, err := run(s)
+			if err != nil {
+				return err
+			}
+			pts[i], err = skewPointMetrics(i == 1, s, out, time.Since(start))
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := sameSkewProtocolMetrics(pts[0], pts[1]); err != nil {
+		return nil, fmt.Errorf("skew: rebalancing changed protocol results: %w", err)
+	}
+
+	sched := &Table{
+		Title: "Hot-shard population: scheduler response (paired seeds)",
+		Header: []string{"rebalance", "barriers", "windows", "migrations", "lanes moved",
+			"steps max/mean", "busy max/mean", "wall (s)"},
+	}
+	balance := &Table{
+		Title:  "Hot-shard population: per-shard load",
+		Header: []string{"rebalance", "shard", "steps", "busy (ms)"},
+	}
+	for _, p := range pts {
+		sched.AddRow(fmt.Sprintf("%t", p.Rebalance), u64(p.Barriers), u64(p.Windows),
+			u64(p.Migrations), u64(p.LanesMoved),
+			f2(p.StepsImbalance), f2(p.BusyImbalance), f2(p.WallSeconds))
+		for si := range p.ShardSteps {
+			balance.AddRow(fmt.Sprintf("%t", p.Rebalance), itoa(si),
+				u64(p.ShardSteps[si]), f2(float64(p.ShardBusyNS[si])/1e6))
+		}
+	}
+
+	artifact, err := json.MarshalIndent(skewArtifact{
+		Experiment: "skew",
+		Seed:       o.Seed,
+		Scale:      o.Scale,
+		N:          n,
+		Shards:     shards,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCores:  runtime.NumCPU(),
+		Points:     pts,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("skew: marshal artifact: %w", err)
+	}
+	artifact = append(artifact, '\n')
+
+	return &Result{
+		ID:        "skew",
+		Title:     "Lane rebalancing vs a hot-shard population (scheduler A/B, same seed)",
+		Tables:    []*Table{sched, balance},
+		Artifacts: map[string][]byte{SkewArtifactName: artifact},
+	}, nil
+}
+
+// skewPointMetrics extracts one run's scheduler and protocol metrics.
+func skewPointMetrics(rebalance bool, s scenario, out *outcome, wall time.Duration) (SkewPoint, error) {
+	c := out.c
+	st, ok := c.SchedStats()
+	if !ok {
+		return SkewPoint{}, fmt.Errorf("skew: run was not sharded")
+	}
+	p := SkewPoint{
+		Rebalance:   rebalance,
+		N:           s.n,
+		Shards:      st.Shards,
+		Stride:      s.stride,
+		Barriers:    st.Barriers,
+		Windows:     st.Windows,
+		Migrations:  st.Migrations,
+		LanesMoved:  st.LanesMoved,
+		Events:      c.Steps(),
+		AliveCount:  c.AliveCount(),
+		WallSeconds: wall.Seconds(),
+	}
+	var stepsMax, stepsSum uint64
+	var busyMax, busySum int64
+	for _, sh := range st.PerShard {
+		p.ShardSteps = append(p.ShardSteps, sh.Steps)
+		p.ShardBusyNS = append(p.ShardBusyNS, sh.BusyNS)
+		stepsSum += sh.Steps
+		busySum += sh.BusyNS
+		if sh.Steps > stepsMax {
+			stepsMax = sh.Steps
+		}
+		if sh.BusyNS > busyMax {
+			busyMax = sh.BusyNS
+		}
+	}
+	if stepsSum > 0 {
+		p.StepsImbalance = float64(stepsMax) * float64(st.Shards) / float64(stepsSum)
+	}
+	if busySum > 0 {
+		p.BusyImbalance = float64(busyMax) * float64(st.Shards) / float64(busySum)
+	}
+	secs := out.measure.Seconds()
+	var fill, bw stats.Welford
+	for _, idx := range out.aliveIndexes() {
+		nst := c.Stats(idx)
+		fill.Add(float64(nst.PSSize) / float64(c.K()))
+		bw.Add(float64(nst.Traffic.BytesOut) / secs)
+	}
+	p.PSFill = fill.Mean()
+	p.BytesPerNodeSec = bw.Mean()
+	return p, nil
+}
+
+// sameSkewProtocolMetrics asserts the protocol-visible fields of the
+// off and on points match: migration may move lanes, never results.
+func sameSkewProtocolMetrics(a, b SkewPoint) error {
+	type pair struct {
+		name string
+		a, b any
+	}
+	for _, p := range []pair{
+		{"events", a.Events, b.Events},
+		{"alive", a.AliveCount, b.AliveCount},
+		{"ps_fill", a.PSFill, b.PSFill},
+		{"bytes_out_per_node_per_second", a.BytesPerNodeSec, b.BytesPerNodeSec},
+	} {
+		if p.a != p.b {
+			return fmt.Errorf("%s: off %v vs on %v", p.name, p.a, p.b)
+		}
+	}
+	return nil
+}
+
+func u64(v uint64) string { return fmt.Sprintf("%d", v) }

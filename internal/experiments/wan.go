@@ -56,6 +56,17 @@ type WanPoint struct {
 	Events            uint64  `json:"events"`
 
 	WallSeconds float64 `json:"wall_seconds"`
+
+	// Scheduler counters, present only when the sweep ran sharded
+	// (avmon-bench -shards): coordinator barriers and executed windows
+	// per regime (deterministic — these are what dynamic lookahead and
+	// barrier batching shrink, most visibly under the 5 ms-floor
+	// lognormal regime), and per-shard busy wall-clock (host metric).
+	// They live in the artifact only, so the rendered tables stay
+	// byte-identical at any shard count.
+	Barriers    uint64  `json:"barriers,omitempty"`
+	Windows     uint64  `json:"windows,omitempty"`
+	ShardBusyNS []int64 `json:"shard_busy_ns,omitempty"`
 }
 
 // wanArtifact is the BENCH_wan.json envelope.
@@ -178,6 +189,7 @@ func Wan(o Options) (*Result, error) {
 			// paired comparisons.
 			s.seed = deriveSeed(o.Seed, 0)
 			s.shards = o.Shards
+			s.sched = o.Scheduler
 			start := time.Now()
 			out, err := run(s)
 			if err != nil {
@@ -240,6 +252,13 @@ func wanPointMetrics(r wanRegime, n int, out *outcome, wall time.Duration) WanPo
 		K:            c.K(),
 		Events:       c.Steps(),
 		WallSeconds:  wall.Seconds(),
+	}
+	if st, ok := c.SchedStats(); ok {
+		p.Barriers = st.Barriers
+		p.Windows = st.Windows
+		for _, sh := range st.PerShard {
+			p.ShardBusyNS = append(p.ShardBusyNS, sh.BusyNS)
+		}
 	}
 
 	control := out.controlOrLateBorn()

@@ -1,0 +1,522 @@
+package sim
+
+// The shard scheduler: the per-barrier decisions of the sharded engine,
+// factored out of the window loop. Three previously hardwired choices
+// are made explicitly here, each independently configurable through
+// SchedulerConfig:
+//
+//   - Dynamic lookahead (window sizing). The static engine advanced
+//     every shard in lockstep to gmin+L, where gmin is the earliest
+//     pending event anywhere and L the lookahead floor. The dynamic
+//     scheduler gives each shard its own horizon: the earliest pending
+//     event owned by any OTHER shard, plus the conservative cross-lane
+//     bound (the latency floor) — the classic conservative-PDES safe
+//     time. A shard whose peers are quiet runs far ahead in one window;
+//     the hot shard of a skewed population is no longer throttled by
+//     its own queue.
+//
+//   - Barrier batching. A full coordinator barrier (park workers, run
+//     control events, merge outboxes, sample load) is only required
+//     when there is cross-shard traffic to merge or a control event to
+//     run. Between those points, workers advance through consecutive
+//     windows on their own, synchronizing through a cheap worker-side
+//     barrier, for up to BatchWindows windows per coordinator
+//     round-trip.
+//
+//   - Lane rebalancing. Per-shard executed-event counts are sampled
+//     into a sliding window of the last RebalanceWindow barriers; when
+//     the busiest shard exceeds RebalanceThreshold × the mean, whole
+//     lanes (heaviest first) migrate from the busiest to the idlest
+//     shard, together with their queued events. The canonical event
+//     order is shard-assignment-independent, so migration can never
+//     change results — only wall-clock balance.
+//
+// Determinism. Every scheduling decision is a function of per-shard
+// event counts, queue minima, and the configuration — never of wall
+// time or goroutine interleaving — so for a fixed (seed, shard count,
+// SchedulerConfig) the window grid, batch boundaries, and migrations
+// are all reproducible. Per-shard busy wall-clock time is measured and
+// reported (SchedStats) but deliberately never consulted for
+// decisions. And by the canonical-order contract, results are
+// byte-identical to the serial engine under every configuration.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchedulerConfig tunes the sharded engine's per-barrier scheduling
+// decisions. The zero value disables all three mechanisms and
+// reproduces the original static scheduler (lockstep windows of
+// exactly one lookahead, a coordinator barrier after every window, no
+// migration); DefaultSchedulerConfig enables all three. Every setting
+// is a pure wall-clock knob: results are byte-identical to the serial
+// engine under any configuration.
+type SchedulerConfig struct {
+	// DynamicLookahead replaces the lockstep window end (earliest
+	// pending event anywhere + lookahead) with a per-shard horizon:
+	// the earliest pending event owned by any other shard, extended by
+	// the conservative cross-lane bound (the lookahead floor, or the
+	// bound registered with SetCrossLaneBound). Shards with quiet
+	// peers run many windows' worth of events in one pass.
+	DynamicLookahead bool
+	// BatchWindows caps how many consecutive windows the shards run
+	// between coordinator barriers, synchronizing through a cheap
+	// worker-side barrier while no cross-shard post is pending and no
+	// control event is due. Values ≤ 1 disable batching (one window
+	// per coordinator barrier).
+	BatchWindows int
+	// RebalanceThreshold triggers lane migration when the busiest
+	// shard's executed-event count over the sliding window exceeds
+	// this multiple of the per-shard mean. Must be ≥ 1; values ≤ 0
+	// disable rebalancing.
+	RebalanceThreshold float64
+	// RebalanceWindow is the number of coordinator barriers in the
+	// sliding load window behind RebalanceThreshold (default 8 when
+	// rebalancing is enabled).
+	RebalanceWindow int
+}
+
+// DefaultSchedulerConfig returns the configuration a sharded engine
+// runs with unless told otherwise: dynamic lookahead on, up to 8
+// windows batched per coordinator barrier, and lane rebalancing at a
+// 1.3× load-imbalance threshold over an 8-barrier sliding window.
+func DefaultSchedulerConfig() SchedulerConfig {
+	return SchedulerConfig{
+		DynamicLookahead:   true,
+		BatchWindows:       8,
+		RebalanceThreshold: 1.3,
+		RebalanceWindow:    8,
+	}
+}
+
+// StaticSchedulerConfig returns the all-off configuration: lockstep
+// windows exactly one lookahead wide, a coordinator barrier after
+// every window, round-robin lane assignment forever. This is the
+// scheduler the sharded engine shipped with before the adaptive
+// layer; it remains available as the baseline the adaptive modes are
+// benchmarked against.
+func StaticSchedulerConfig() SchedulerConfig { return SchedulerConfig{} }
+
+// normalize validates cfg and fills defaults, mirroring the rules in
+// the field docs.
+func (cfg SchedulerConfig) normalize() (SchedulerConfig, error) {
+	if math.IsNaN(cfg.RebalanceThreshold) || math.IsInf(cfg.RebalanceThreshold, 0) {
+		return cfg, fmt.Errorf("sim: rebalance threshold must be finite, got %v", cfg.RebalanceThreshold)
+	}
+	if cfg.RebalanceThreshold > 0 && cfg.RebalanceThreshold < 1 {
+		return cfg, fmt.Errorf(
+			"sim: rebalance threshold %v is meaningless (max/mean load is always ≥ 1); use ≥ 1 to enable or ≤ 0 to disable",
+			cfg.RebalanceThreshold)
+	}
+	if cfg.BatchWindows < 1 {
+		cfg.BatchWindows = 1
+	}
+	if cfg.RebalanceWindow < 1 {
+		cfg.RebalanceWindow = 8
+	}
+	return cfg, nil
+}
+
+// ShardStats describes one shard's share of a sharded run.
+type ShardStats struct {
+	// Lanes is the number of node lanes currently assigned to the
+	// shard (migration moves lanes between shards).
+	Lanes int
+	// Steps is the number of events the shard has executed.
+	Steps uint64
+	// BusyNS is the wall-clock nanoseconds the shard's worker spent
+	// executing events (excluding barrier waits). It is a host
+	// measurement: deterministic runs report nondeterministic BusyNS.
+	BusyNS int64
+}
+
+// SchedStats is a snapshot of the sharded engine's scheduler counters,
+// valid while the engine is quiescent. Windows, Barriers, and
+// Migrations are deterministic for a fixed (seed, shard count,
+// SchedulerConfig); PerShard busy times are host measurements.
+type SchedStats struct {
+	// Shards is the configured shard count.
+	Shards int
+	// Lookahead is the engine's conservative cross-lane floor.
+	Lookahead time.Duration
+	// Windows counts executed lookahead windows across the run,
+	// including windows batched between coordinator barriers.
+	Windows uint64
+	// Barriers counts coordinator barriers: full stop-the-world
+	// round-trips that run control events, merge cross-shard posts,
+	// and sample load. Batching makes Barriers < Windows.
+	Barriers uint64
+	// Migrations counts rebalancing events (each may move several
+	// lanes).
+	Migrations uint64
+	// LanesMoved counts lanes migrated across all rebalancing events.
+	LanesMoved uint64
+	// PerShard holds one entry per shard.
+	PerShard []ShardStats
+}
+
+// SchedStats returns the engine's scheduler counters. Valid while
+// quiescent.
+func (e *ShardedEngine) SchedStats() SchedStats {
+	st := SchedStats{
+		Shards:     len(e.shards),
+		Lookahead:  time.Duration(e.lookahead),
+		Windows:    e.windows,
+		Barriers:   e.barriers,
+		Migrations: e.migrations,
+		LanesMoved: e.lanesMoved,
+		PerShard:   make([]ShardStats, len(e.shards)),
+	}
+	for i, s := range e.shards {
+		st.PerShard[i] = ShardStats{Steps: s.steps, BusyNS: s.busyNS}
+	}
+	for _, l := range e.laneByID[1:] {
+		st.PerShard[l.shard].Lanes++
+	}
+	return st
+}
+
+// Scheduler returns the engine's normalized scheduler configuration.
+func (e *ShardedEngine) Scheduler() SchedulerConfig { return e.cfg }
+
+// SetCrossLaneBound registers a conservative bound on cross-lane event
+// generation: fn(t) must lower-bound the timestamp of every cross-lane
+// post made by events executing at or after virtual time t (as an
+// offset from Epoch). The dynamic scheduler extends each shard's
+// horizon with this bound instead of the raw lookahead floor; layers
+// that generate cross-lane traffic (the simulated network exports its
+// bound as simnet.Network.CrossLaneBound) register it at construction.
+// A bound that promises more distance than traffic actually keeps
+// surfaces as the engine's deterministic lookahead panic. Call while
+// quiescent only; nil restores the default (t + Lookahead).
+func (e *ShardedEngine) SetCrossLaneBound(fn func(after time.Duration) time.Duration) {
+	e.boundFn = fn
+}
+
+// crossLaneBound returns the earliest virtual time (nanos) at which
+// events executing at ≥ after could generate a cross-lane post. The
+// engine's own lookahead floor is authoritative — cross-lane posts
+// closer than it panic regardless of the registered bound — so an
+// under-promising bound function is clamped up to it rather than
+// being allowed to stall horizon progress.
+func (e *ShardedEngine) crossLaneBound(after int64) int64 {
+	floor := after + e.lookahead
+	if e.boundFn == nil {
+		return floor
+	}
+	if b := int64(e.boundFn(time.Duration(after))); b > floor {
+		return b
+	}
+	return floor
+}
+
+// --- window horizons --------------------------------------------------
+
+// computeHorizons assigns every shard its execution horizon for the
+// next window and returns whether any shard can make progress (owns an
+// event below its horizon). qmins holds each shard's earliest queued
+// timestamp (maxInt64 when empty); limitCtl caps every horizon at the
+// next due control event and the run deadline.
+//
+// Static mode is the original lockstep grid: every horizon is
+// bound(g1), g1 the global earliest pending event and bound the
+// cross-lane floor. Dynamic mode widens the horizon of the shard that
+// OWNS g1 using the conservative fixpoint over transitive refills: the
+// earliest any other shard o can ever execute an event again is
+// EA(o) = min(qmin(o), bound(g1)) — its own queue, or a delivery the
+// g1 shard sends it — so nothing can reach the g1 shard before
+// bound(min over others of EA(o)) = bound(min(g2, bound(g1))), g2 the
+// earliest event owned by any other shard. With a quiet tail
+// (g2 ≫ g1) that is two lookaheads of head start per window, and with
+// a single shard — no cross-shard traffic at all — the horizon is
+// limitCtl outright. Shards other than the g1 owner cannot be widened:
+// a delivery from the g1 shard can reach them as early as bound(g1).
+// Outboxes are empty whenever horizons are computed (a batch stops at
+// the first window with a cross-shard post), so queue minima are a
+// complete account of pending events.
+func (e *ShardedEngine) computeHorizons(qmins []int64, limitCtl int64) bool {
+	// g1/g2: the two earliest pending timestamps across shards, with
+	// g1's owner. Ties leave g2 == g1, which correctly disables the
+	// widened horizon (two shards at g1 can post to each other at
+	// bound(g1)).
+	g1, g2 := int64(math.MaxInt64), int64(math.MaxInt64)
+	g1at := -1
+	for i, m := range qmins {
+		if m < g1 {
+			g1, g2, g1at = m, g1, i
+		} else if m < g2 {
+			g2 = m
+		}
+	}
+	if g1 == math.MaxInt64 {
+		return false
+	}
+	base := e.crossLaneBound(g1)
+	if base > limitCtl {
+		base = limitCtl
+	}
+	progress := false
+	for i, s := range e.shards {
+		h := base
+		if e.cfg.DynamicLookahead && i == g1at {
+			h = limitCtl
+			if len(e.shards) > 1 {
+				ea := e.crossLaneBound(g1) // earliest refill of a quiet peer
+				if g2 < ea {
+					ea = g2
+				}
+				if b := e.crossLaneBound(ea); b < h {
+					h = b
+				}
+			}
+		}
+		s.limit = h
+		if h > s.frontier {
+			s.frontier = h
+		}
+		if qmins[i] < h {
+			progress = true
+		}
+	}
+	return progress
+}
+
+// --- batched windows --------------------------------------------------
+
+// windowBatch coordinates one coordinator dispatch: up to maxRounds
+// consecutive windows executed by all shards, synchronized through a
+// worker-side barrier instead of a coordinator round-trip. The batch
+// ends at the first window that produced a cross-shard post (the next
+// window's horizons would not account for the undelivered events), on
+// a worker panic, when no shard can progress (all horizons capped by
+// the next control event, the deadline, or empty queues), or when
+// maxRounds windows have run.
+type windowBatch struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	n         int // participating shards
+	arrived   int // shards parked at the barrier this round
+	gen       uint64
+	qmins     []int64 // per-shard queue head after the current round
+	stop      bool    // a shard cross-posted or panicked this round
+	done      bool    // batch over; workers return to the coordinator
+	rounds    uint64  // windows completed this batch
+	maxRounds int
+	limitCtl  int64 // horizon cap: min(next control event, deadline+1)
+}
+
+func newWindowBatch(shards int) *windowBatch {
+	b := &windowBatch{n: shards, qmins: make([]int64, shards)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// reset prepares the batch for one coordinator dispatch.
+func (b *windowBatch) reset(maxRounds int, limitCtl int64) {
+	b.arrived, b.stop, b.done, b.rounds = 0, false, false, 0
+	b.maxRounds, b.limitCtl = maxRounds, limitCtl
+}
+
+// sync is the worker-side barrier: shard s reports its queue head and
+// whether it cross-posted this round; the last arriver advances the
+// batch (computing the next round's horizons or ending it). It returns
+// false when the batch is over.
+func (b *windowBatch) sync(e *ShardedEngine, s *shard) bool {
+	qmin := int64(math.MaxInt64)
+	if len(s.queue) > 0 {
+		qmin = s.queue[0].at
+	}
+	posted := s.posted
+	s.posted = false
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.qmins[s.idx] = qmin
+	if posted || s.panicked != nil {
+		b.stop = true
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.advance(e)
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return !b.done
+	}
+	for g := b.gen; g == b.gen; {
+		b.cond.Wait()
+	}
+	return !b.done
+}
+
+// advance runs under b.mu with every worker parked: count the finished
+// round, then either end the batch or hand out the next round's
+// horizons.
+func (b *windowBatch) advance(e *ShardedEngine) {
+	b.rounds++
+	if b.stop || int(b.rounds) >= b.maxRounds {
+		b.done = true
+		return
+	}
+	if !e.computeHorizons(b.qmins, b.limitCtl) {
+		b.done = true
+	}
+}
+
+// --- lane rebalancing -------------------------------------------------
+
+// sampleLoad records each shard's executed-event count since the last
+// coordinator barrier into the sliding load window.
+func (e *ShardedEngine) sampleLoad() {
+	if e.cfg.RebalanceThreshold <= 0 || len(e.shards) < 2 {
+		return
+	}
+	w := e.cfg.RebalanceWindow
+	for i, s := range e.shards {
+		e.loadRing[i][e.ringPos] = s.steps - s.sampleSteps
+		s.sampleSteps = s.steps
+	}
+	e.ringPos = (e.ringPos + 1) % w
+	if e.ringFill < w {
+		e.ringFill++
+	}
+}
+
+// maybeRebalance migrates whole lanes from the busiest shard to the
+// idlest when the sliding-window load imbalance exceeds the threshold.
+// It runs at coordinator barriers with every worker parked and the
+// outboxes drained. Migration is invisible to results: the canonical
+// event order is a pure function of per-lane histories, independent of
+// which shard executes a lane, so only wall-clock balance changes.
+func (e *ShardedEngine) maybeRebalance() {
+	if e.cfg.RebalanceThreshold <= 0 || len(e.shards) < 2 || e.ringFill < e.cfg.RebalanceWindow {
+		return
+	}
+	var total uint64
+	maxAt, minAt := 0, 0
+	sums := make([]uint64, len(e.shards))
+	for i := range e.shards {
+		for _, v := range e.loadRing[i] {
+			sums[i] += v
+		}
+		total += sums[i]
+		if sums[i] > sums[maxAt] {
+			maxAt = i
+		}
+		if sums[i] < sums[minAt] {
+			minAt = i
+		}
+	}
+	mean := float64(total) / float64(len(e.shards))
+	if mean == 0 || float64(sums[maxAt]) <= e.cfg.RebalanceThreshold*mean {
+		return
+	}
+	// Cumulative per-lane event counts weight the migration: move the
+	// heaviest lanes of the busiest shard until the (cumulative) gap to
+	// the idlest shard closes. Greedy descending, moving a lane only
+	// while its weight still reduces the gap.
+	var srcLanes []*Lane
+	var srcSum, dstSum int64
+	for _, l := range e.laneByID[1:] {
+		switch int(l.shard) {
+		case maxAt:
+			srcLanes = append(srcLanes, l)
+			srcSum += int64(l.execs)
+		case minAt:
+			dstSum += int64(l.execs)
+		}
+	}
+	gap := srcSum - dstSum
+	if gap <= 0 || len(srcLanes) < 2 {
+		e.ringFill = 0 // stale signal: re-fill the window before retrying
+		return
+	}
+	// Deterministic order: weight descending, lane id ascending on ties.
+	sort.Slice(srcLanes, func(i, j int) bool {
+		a, b := srcLanes[i], srcLanes[j]
+		if a.execs != b.execs {
+			return a.execs > b.execs
+		}
+		return a.id < b.id
+	})
+	moved := 0
+	for _, l := range srcLanes {
+		if moved == len(srcLanes)-1 {
+			break // leave the busiest shard at least one lane
+		}
+		w := int64(l.execs)
+		if w == 0 || w > gap {
+			continue // moving this lane would overshoot (or is pointless)
+		}
+		l.shard = int32(minAt)
+		gap -= 2 * w
+		moved++
+		if gap <= 0 {
+			break
+		}
+	}
+	if moved == 0 {
+		e.ringFill = 0
+		return
+	}
+	e.migrations++
+	e.lanesMoved += uint64(moved)
+	e.repartitionQueue(e.shards[maxAt])
+	// Past samples describe the old assignment; refill before the next
+	// decision.
+	e.ringFill = 0
+}
+
+// repartitionQueue moves the queued events of migrated lanes out of
+// shard s into their lanes' new owners, re-heapifying what remains.
+func (e *ShardedEngine) repartitionQueue(s *shard) {
+	kept := s.queue[:0]
+	var moved []event
+	for _, ev := range s.queue {
+		if int(e.laneByID[ev.lane].shard) == s.idx {
+			kept = append(kept, ev)
+		} else {
+			moved = append(moved, ev)
+		}
+	}
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = event{} // release closures for GC
+	}
+	s.queue = kept
+	s.queue.init()
+	for _, ev := range moved {
+		e.shards[e.laneByID[ev.lane].shard].queue.push(ev)
+	}
+}
+
+// init restores the heap invariant over arbitrary contents (classic
+// bottom-up heapify), used after repartitioning filters a queue in
+// place.
+func (q eventQueue) init() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+func (q eventQueue) siftDown(i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(q) {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < len(q) && q[right].before(q[left]) {
+			smallest = right
+		}
+		if !q[smallest].before(q[i]) {
+			return
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// skewedWorkload drives a deliberately imbalanced multi-lane load on
+// eng: every shards-th lane ticks constantly, the rest never do
+// anything. Under round-robin assignment the stride pins all hot
+// lanes onto shard 0 — the adversarial case rebalancing exists for.
+func skewedWorkload(eng Sched, shards, hotPerShard int, horizon time.Duration) {
+	for i := 0; i < hotPerShard*shards; i++ {
+		l := eng.AddLane()
+		if i%shards == 0 {
+			l := l
+			eng.NewLaneTicker(l, 3*time.Millisecond, 0, func(now time.Time) {
+				l.Rand().Intn(10) // burn a draw so the lane does real work
+			})
+		}
+	}
+	eng.RunFor(horizon)
+}
+
+// TestSchedulerRebalanceMovesLanes: under a pinned hot shard, the
+// forced scheduler must migrate lanes and improve the per-shard
+// executed-event balance versus the static assignment.
+func TestSchedulerRebalanceMovesLanes(t *testing.T) {
+	const shards = 4
+	imbalance := func(cfg SchedulerConfig) (float64, SchedStats) {
+		e, err := NewShardedWithScheduler(7, shards, 50*time.Millisecond, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		skewedWorkload(e, shards, 6, 30*time.Second)
+		st := e.SchedStats()
+		var max, sum uint64
+		for _, sh := range st.PerShard {
+			sum += sh.Steps
+			if sh.Steps > max {
+				max = sh.Steps
+			}
+		}
+		if sum == 0 {
+			t.Fatal("workload executed nothing")
+		}
+		return float64(max) * shards / float64(sum), st
+	}
+	static, stStatic := imbalance(StaticSchedulerConfig())
+	if stStatic.Migrations != 0 {
+		t.Errorf("static scheduler migrated %d times", stStatic.Migrations)
+	}
+	if static < 3.5 {
+		t.Fatalf("workload not skewed enough to test rebalancing: static imbalance %.2f", static)
+	}
+	balanced, stForced := imbalance(forcedSchedulerConfig())
+	if stForced.Migrations == 0 {
+		t.Fatal("forced scheduler never migrated a lane")
+	}
+	if stForced.LanesMoved == 0 {
+		t.Error("migrations recorded but no lanes moved")
+	}
+	if balanced > static/2 {
+		t.Errorf("rebalancing left imbalance at %.2f (static %.2f); expected at least a 2× improvement",
+			balanced, static)
+	}
+	// Lane counts must reflect the migrations.
+	moved := 0
+	for i, sh := range stForced.PerShard {
+		if i != 0 {
+			moved += sh.Lanes
+		}
+	}
+	if moved == 0 {
+		t.Error("all lanes still on shard 0 after rebalancing")
+	}
+}
+
+// TestSchedulerBatchingCutsBarriers: with batching enabled, the same
+// workload needs strictly fewer coordinator barriers (and the same
+// number of windows, give or take grid drift) than one-window
+// dispatches.
+func TestSchedulerBatchingCutsBarriers(t *testing.T) {
+	run := func(batch int) SchedStats {
+		cfg := StaticSchedulerConfig()
+		cfg.BatchWindows = batch
+		e, err := NewShardedWithScheduler(3, 2, 50*time.Millisecond, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two lanes ticking locally, never posting across shards: the
+		// ideal batching case.
+		for i := 0; i < 2; i++ {
+			l := e.AddLane()
+			e.NewLaneTicker(l, 7*time.Millisecond, 0, func(time.Time) {})
+		}
+		e.RunFor(10 * time.Second)
+		return e.SchedStats()
+	}
+	one := run(1)
+	batched := run(8)
+	if one.Barriers != one.Windows {
+		t.Errorf("unbatched run: %d barriers != %d windows", one.Barriers, one.Windows)
+	}
+	if batched.Barriers >= one.Barriers/4 {
+		t.Errorf("batching cut barriers only from %d to %d; want ≥ 4×", one.Barriers, batched.Barriers)
+	}
+}
+
+// TestSchedulerDynamicLookaheadCutsWindows: a shard running dense
+// lane-local work against a quiet peer gets a widened horizon — up to
+// two lookaheads, the conservative fixpoint over transitive refills —
+// so the run needs close to half the windows of the static grid, and
+// composing dynamic horizons with batching multiplies the barrier
+// savings further.
+func TestSchedulerDynamicLookaheadCutsWindows(t *testing.T) {
+	run := func(cfg SchedulerConfig) SchedStats {
+		e, err := NewShardedWithScheduler(5, 2, 5*time.Millisecond, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lane 1 (shard 0) ticks every millisecond — dense against the
+		// 5ms floor, the shape of the wan lognormal regime — while
+		// lane 2 (shard 1) wakes rarely. No cross-shard traffic.
+		l1, l2 := e.AddLane(), e.AddLane()
+		e.NewLaneTicker(l1, time.Millisecond, 0, func(time.Time) {})
+		e.NewLaneTicker(l2, 97*time.Millisecond, 0, func(time.Time) {})
+		e.RunFor(10 * time.Second)
+		return e.SchedStats()
+	}
+	static := run(StaticSchedulerConfig())
+	dynamic := StaticSchedulerConfig()
+	dynamic.DynamicLookahead = true
+	dyn := run(dynamic)
+	if dyn.Windows*10 > static.Windows*6 {
+		t.Errorf("dynamic lookahead cut windows only from %d to %d; want ≥ 1.67×",
+			static.Windows, dyn.Windows)
+	}
+	if dyn.Barriers >= static.Barriers {
+		t.Errorf("dynamic lookahead did not cut barriers: %d vs %d", dyn.Barriers, static.Barriers)
+	}
+	// The full adaptive scheduler (dynamic + batching) multiplies the
+	// savings: worker-paced rounds replace coordinator barriers.
+	full := run(DefaultSchedulerConfig())
+	if full.Barriers*4 > static.Barriers {
+		t.Errorf("adaptive scheduler cut barriers only from %d to %d; want ≥ 4×",
+			static.Barriers, full.Barriers)
+	}
+}
+
+// TestSchedulerConfigValidation pins the constructor's handling of
+// nonsense configurations.
+func TestSchedulerConfigValidation(t *testing.T) {
+	if _, err := NewShardedWithScheduler(1, 2, time.Millisecond, SchedulerConfig{RebalanceThreshold: 0.5}); err == nil {
+		t.Error("rebalance threshold in (0,1) accepted")
+	}
+	if _, err := NewShardedWithScheduler(1, 2, time.Millisecond, SchedulerConfig{RebalanceThreshold: math.Inf(1)}); err == nil {
+		t.Error("infinite rebalance threshold accepted")
+	}
+	if _, err := NewShardedWithScheduler(1, 2, time.Millisecond, SchedulerConfig{RebalanceThreshold: math.NaN()}); err == nil {
+		t.Error("NaN rebalance threshold accepted")
+	}
+	e, err := NewShardedWithScheduler(1, 2, time.Millisecond, SchedulerConfig{BatchWindows: -3, RebalanceWindow: -1})
+	if err != nil {
+		t.Fatalf("negative batch/window values should normalize, got %v", err)
+	}
+	if cfg := e.Scheduler(); cfg.BatchWindows != 1 || cfg.RebalanceWindow < 1 {
+		t.Errorf("normalization wrong: %+v", cfg)
+	}
+}
+
+// TestSchedulerStatsShape sanity-checks SchedStats bookkeeping on a
+// default run.
+func TestSchedulerStatsShape(t *testing.T) {
+	e, err := NewSharded(9, 3, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		l := e.AddLane()
+		e.NewLaneTicker(l, 11*time.Millisecond, 0, func(time.Time) {})
+	}
+	e.RunFor(5 * time.Second)
+	st := e.SchedStats()
+	if st.Shards != 3 || st.Lookahead != 50*time.Millisecond {
+		t.Errorf("stats header wrong: %+v", st)
+	}
+	if st.Windows == 0 || st.Barriers == 0 || st.Windows < st.Barriers {
+		t.Errorf("window/barrier counters wrong: windows=%d barriers=%d", st.Windows, st.Barriers)
+	}
+	lanes, steps := 0, uint64(0)
+	for _, sh := range st.PerShard {
+		lanes += sh.Lanes
+		steps += sh.Steps
+	}
+	if lanes != 6 {
+		t.Errorf("per-shard lane counts sum to %d, want 6", lanes)
+	}
+	if total := e.Steps(); steps > total {
+		t.Errorf("shard steps %d exceed engine total %d", steps, total)
+	}
+}
+
+// FuzzScheduler fuzzes the scheduler configuration space — threshold,
+// batch depth, sliding window, dynamic flag, shard count — and asserts
+// the per-lane execution traces stay byte-identical to the serial
+// engine. This is the acceptance property of the whole scheduler
+// layer: no configuration may ever change results.
+func FuzzScheduler(f *testing.F) {
+	f.Add(1.01, 4, 2, true, 2)
+	f.Add(0.0, 1, 1, false, 3)
+	f.Add(1.5, 16, 8, true, 8)
+	f.Add(2.0, 2, 3, false, 1)
+	serial := map[int64][]string{}
+	f.Fuzz(func(t *testing.T, threshold float64, batch, window int, dynamic bool, shards int) {
+		// Clamp into the constructor's valid space deterministically.
+		if threshold < 0 || threshold != threshold { // negatives and NaN → disabled
+			threshold = 0
+		} else if threshold > 0 {
+			threshold = 1 + float64(int(threshold*8)%32)/8 // quantize into [1, 5)
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		batch = 1 + batch%16
+		if window < 1 {
+			window = 1
+		}
+		window = 1 + window%8
+		if shards < 1 {
+			shards = 1
+		}
+		shards = 1 + shards%8
+		cfg := SchedulerConfig{
+			DynamicLookahead:   dynamic,
+			BatchWindows:       batch,
+			RebalanceThreshold: threshold,
+			RebalanceWindow:    window,
+		}
+		const seed = 1234
+		const horizon = 400 * time.Millisecond
+		want := serial[seed]
+		if want == nil {
+			want = traceWorkload(t, func() Sched { return New(seed) }, horizon)
+			serial[seed] = want
+		}
+		got := traceWorkload(t, func() Sched {
+			e, err := NewShardedWithScheduler(seed, shards, 50*time.Millisecond, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}, horizon)
+		if len(got) != len(want) {
+			t.Fatalf("cfg %+v shards=%d: trace length %d, serial %d", cfg, shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cfg %+v shards=%d: trace diverges at line %d:\nserial:  %s\nsharded: %s",
+					cfg, shards, i, want[i], got[i])
+			}
+		}
+	})
+}
+
+// TestSchedulerFuzzSeeds runs the FuzzScheduler corpus as a plain test
+// so the property is exercised by `go test` without -fuzz.
+func TestSchedulerFuzzSeeds(t *testing.T) {
+	serial := traceWorkload(t, func() Sched { return New(77) }, 500*time.Millisecond)
+	for _, tc := range []struct {
+		cfg    SchedulerConfig
+		shards int
+	}{
+		{forcedSchedulerConfig(), 2},
+		{forcedSchedulerConfig(), 8},
+		{SchedulerConfig{DynamicLookahead: true}, 3},
+		{SchedulerConfig{BatchWindows: 16}, 5},
+		{SchedulerConfig{RebalanceThreshold: 1, RebalanceWindow: 1, BatchWindows: 2}, 4},
+	} {
+		got := traceWorkload(t, func() Sched {
+			e, err := NewShardedWithScheduler(77, tc.shards, 50*time.Millisecond, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}, 500*time.Millisecond)
+		if fmt.Sprint(got) != fmt.Sprint(serial) {
+			t.Errorf("cfg %+v shards=%d diverged from serial", tc.cfg, tc.shards)
+		}
+	}
+}

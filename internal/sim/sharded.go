@@ -2,62 +2,83 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
 )
 
 // ShardedEngine is the conservative parallel scheduler: node lanes are
-// partitioned round-robin across P worker shards, each owning a flat
-// event heap, and all shards advance in lockstep windows of width
-// equal to the engine's lookahead (the minimum cross-lane message
-// latency). Within a window each shard executes its own lanes' events
-// in canonical order; events posted across shards always fire at or
-// after the next window boundary (the lookahead guarantee), so they
-// are merged at the barrier before any shard could need them. No
+// partitioned across P worker shards (round-robin at creation, with
+// optional load-driven migration at barriers — see scheduler.go), each
+// owning a flat event heap. Shards advance through execution windows
+// bounded by conservative horizons derived from the engine's lookahead
+// (the minimum cross-lane message latency): an event executing at time
+// t can only affect another shard at ≥ t plus the lookahead, so every
+// cross-shard post lands at or after the destination's horizon and is
+// merged at a barrier before the destination could need it. No
 // rollback is ever required.
 //
-// Control-lane events run single-threaded at the barrier opening each
-// window, before any node-lane event of that window. Because control
-// events touch only control-owned state (churn models, the alive
-// registry, endpoint registration) and communicate with node lanes
-// exclusively through posted events, this reordering is unobservable —
-// see the package comment for the full contract.
+// Control-lane events run single-threaded at coordinator barriers,
+// before the node-lane events of the windows that follow. Because
+// control events touch only control-owned state (churn models, the
+// alive registry, endpoint registration) and communicate with node
+// lanes exclusively through posted events, this reordering is
+// unobservable — see the package comment for the full contract.
 //
 // For one seed, a ShardedEngine run is byte-identical to a serial
-// Engine run at any shard count.
+// Engine run at any shard count and under any SchedulerConfig.
 type ShardedEngine struct {
 	now       time.Time
 	nowNanos  int64
 	lookahead int64
 	seed      int64
+	cfg       SchedulerConfig
+	boundFn   func(after time.Duration) time.Duration
 
 	control    *Lane
 	controlQ   eventQueue
 	controlNow int64
-	lanes      int32
-	steps      uint64 // control steps; Steps() adds shard steps
+	laneByID   []*Lane // index 0 is the control lane
+	steps      uint64  // control steps; Steps() adds shard steps
 
 	shards  []*shard
+	batch   *windowBatch
 	inPhase bool
 	done    chan struct{}
+
+	// Scheduler counters (see SchedStats) and the sliding load window
+	// behind rebalancing.
+	windows    uint64
+	barriers   uint64
+	migrations uint64
+	lanesMoved uint64
+	loadRing   [][]uint64
+	ringPos    int
+	ringFill   int
 }
 
 type shard struct {
-	idx      int
-	queue    eventQueue
-	nowNanos int64 // timestamp of the executing event
-	limit    int64 // current window end (exclusive)
-	steps    uint64
-	outbox   [][]event // per destination shard, drained at barriers
-	start    chan int64
-	panicked any // recovered panic value, re-raised by the coordinator
+	idx         int
+	queue       eventQueue
+	nowNanos    int64 // timestamp of the executing event
+	limit       int64 // current window horizon (exclusive)
+	frontier    int64 // max horizon ever handed out; posts below it are violations
+	steps       uint64
+	sampleSteps uint64    // steps at the last load sample
+	busyNS      int64     // wall-clock ns spent executing events
+	posted      bool      // cross-shard post made in the current window
+	outbox      [][]event // per destination shard, drained at barriers
+	start       chan struct{}
+	panicked    any // recovered panic value, re-raised by the coordinator
 }
 
 var _ Sched = (*ShardedEngine)(nil)
 
 // NewSharded returns a parallel engine with the given shard count and
-// lookahead. The lookahead must be a positive lower bound on every
+// lookahead, running the default adaptive scheduler
+// (DefaultSchedulerConfig: dynamic lookahead, barrier batching, lane
+// rebalancing). The lookahead must be a positive lower bound on every
 // cross-lane post distance — for a simulated network, the latency
 // model's provable floor (simnet.LatencyModel.MinLatency; the cluster
 // passes exactly that, which is what makes heterogeneous WAN latency
@@ -68,25 +89,42 @@ var _ Sched = (*ShardedEngine)(nil)
 // sources are derived exactly as the serial engine derives them, which
 // is what makes the two engines interchangeable.
 func NewSharded(seed int64, shards int, lookahead time.Duration) (*ShardedEngine, error) {
+	return NewShardedWithScheduler(seed, shards, lookahead, DefaultSchedulerConfig())
+}
+
+// NewShardedWithScheduler is NewSharded with an explicit scheduler
+// configuration (see SchedulerConfig; the zero value reproduces the
+// original static scheduler). Results are byte-identical under every
+// configuration — the scheduler only moves wall-clock time around.
+func NewShardedWithScheduler(seed int64, shards int, lookahead time.Duration, cfg SchedulerConfig) (*ShardedEngine, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("sim: shard count must be ≥ 1, got %d", shards)
 	}
 	if lookahead <= 0 {
 		return nil, fmt.Errorf("sim: lookahead must be positive, got %v", lookahead)
 	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	e := &ShardedEngine{
 		now:       Epoch,
 		lookahead: int64(lookahead),
 		seed:      seed,
+		cfg:       cfg,
 		control:   &Lane{id: 0, rng: rand.New(rand.NewSource(seed))},
 		done:      make(chan struct{}),
+		batch:     newWindowBatch(shards),
+		loadRing:  make([][]uint64, shards),
 	}
+	e.laneByID = []*Lane{e.control}
 	for i := 0; i < shards; i++ {
 		e.shards = append(e.shards, &shard{
 			idx:    i,
 			outbox: make([][]event, shards),
-			start:  make(chan int64),
+			start:  make(chan struct{}),
 		})
+		e.loadRing[i] = make([]uint64, cfg.RebalanceWindow)
 	}
 	return e, nil
 }
@@ -94,7 +132,7 @@ func NewSharded(seed int64, shards int, lookahead time.Duration) (*ShardedEngine
 // Shards returns the shard count.
 func (e *ShardedEngine) Shards() int { return len(e.shards) }
 
-// Lookahead returns the engine's conservative window width: the
+// Lookahead returns the engine's conservative cross-lane floor: the
 // guaranteed minimum cross-lane post distance this engine was built
 // with. Layers that generate cross-lane traffic (e.g. a simulated
 // network's latency model) must prove a floor of at least this value —
@@ -102,7 +140,7 @@ func (e *ShardedEngine) Shards() int { return len(e.shards) }
 func (e *ShardedEngine) Lookahead() time.Duration { return time.Duration(e.lookahead) }
 
 // Now returns the current virtual time: the executing control event's
-// timestamp during a barrier, the window boundary while quiescent. It
+// timestamp during a barrier, the resting clock while quiescent. It
 // panics during the parallel phase — node-lane events must use the
 // time passed to their callback.
 func (e *ShardedEngine) Now() time.Time {
@@ -142,15 +180,18 @@ func (e *ShardedEngine) Pending() int {
 // Control returns the control lane.
 func (e *ShardedEngine) Control() *Lane { return e.control }
 
-// AddLane registers a new node lane, assigned round-robin to a shard.
-// Call from control events or while quiescent only.
+// AddLane registers a new node lane, assigned round-robin to a shard
+// (the scheduler may migrate it later). Call from control events or
+// while quiescent only.
 func (e *ShardedEngine) AddLane() *Lane {
-	e.lanes++
-	return &Lane{
-		id:    e.lanes,
-		shard: (e.lanes - 1) % int32(len(e.shards)),
-		rng:   CompactRand(laneSeed(e.seed, e.lanes)),
+	id := int32(len(e.laneByID))
+	l := &Lane{
+		id:    id,
+		shard: (id - 1) % int32(len(e.shards)),
+		rng:   CompactRand(laneSeed(e.seed, id)),
 	}
+	e.laneByID = append(e.laneByID, l)
+	return l
 }
 
 // LaneNow returns the lane's current virtual time: the executing
@@ -169,7 +210,8 @@ func (e *ShardedEngine) LaneNow(l *Lane) time.Time {
 // happen at barriers or while quiescent, when every worker is parked.
 // Posts from a node lane stay in the owning shard's heap when the
 // destination shares the shard, and are routed through an outbox —
-// after a deterministic lookahead check — otherwise.
+// after a deterministic check against the destination's execution
+// frontier — otherwise.
 func (e *ShardedEngine) Post(src, dst *Lane, at time.Time, fn func(now time.Time)) {
 	if src == nil {
 		src = e.control
@@ -216,11 +258,13 @@ func (e *ShardedEngine) Post(src, dst *Lane, at time.Time, fn func(now time.Time
 		e.shards[dst.shard].queue.push(ev)
 		return
 	}
-	if nanos < s.limit {
+	d := e.shards[dst.shard]
+	if nanos < d.frontier {
 		panic(fmt.Sprintf(
-			"sim: cross-shard post at t=%v violates the %v lookahead (window ends %v)",
-			time.Duration(nanos), time.Duration(e.lookahead), time.Duration(s.limit)))
+			"sim: cross-shard post at t=%v violates the %v lookahead (destination shard has executed to %v)",
+			time.Duration(nanos), time.Duration(e.lookahead), time.Duration(d.frontier)))
 	}
+	s.posted = true
 	s.outbox[dst.shard] = append(s.outbox[dst.shard], ev)
 }
 
@@ -230,7 +274,7 @@ func (e *ShardedEngine) At(t time.Time, fn func()) {
 }
 
 // After schedules fn on the control lane d from now (the executing
-// control event's time, or the window boundary while quiescent).
+// control event's time, or the resting clock while quiescent).
 func (e *ShardedEngine) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
@@ -269,8 +313,13 @@ func (e *ShardedEngine) minPending() (int64, bool) {
 }
 
 // RunUntil executes events with timestamps ≤ deadline in canonical
-// order, advancing all shards in lockstep lookahead windows. The clock
-// is left at deadline if that is later than the last executed event.
+// order. Each coordinator barrier runs the control events due within
+// one lookahead of the frontier, hands every shard a conservative
+// horizon (see computeHorizons), and dispatches a batch of up to
+// BatchWindows windows that the workers pace among themselves; the
+// barrier then merges cross-shard posts and lets the load balancer
+// migrate lanes. The clock is left at deadline if that is later than
+// the last executed event.
 func (e *ShardedEngine) RunUntil(deadline time.Time) {
 	limit := int64(deadline.Sub(Epoch))
 	var wg sync.WaitGroup
@@ -296,44 +345,60 @@ func (e *ShardedEngine) RunUntil(deadline time.Time) {
 		}
 		wg.Wait()
 		for _, s := range e.shards {
-			s.start = make(chan int64)
+			s.start = make(chan struct{})
 		}
 	}
 	defer stopWorkers()
-	winStart := e.nowNanos
-	for winStart <= limit {
+	qmins := make([]int64, len(e.shards))
+	for {
 		next, ok := e.minPending()
-		if !ok {
+		if !ok || next > limit {
 			break
 		}
-		if next > winStart {
-			winStart = next // idle skip: jump to the next scheduled event
+		e.nowNanos = next
+		// Barrier, part 1: the control events due within one lookahead
+		// of the frontier, single-threaded. They may post into shard
+		// heaps (workers are parked).
+		ctlBound := next + e.lookahead
+		if ctlBound > limit+1 {
+			ctlBound = limit + 1
 		}
-		if winStart > limit {
-			break
-		}
-		winEnd := winStart + e.lookahead
-		if winEnd > limit+1 {
-			winEnd = limit + 1
-		}
-		e.nowNanos = winStart
-		// Barrier, part 1: the window's control events, single-threaded.
-		// They may post into shard heaps (workers are parked).
-		for len(e.controlQ) > 0 && e.controlQ[0].at < winEnd {
+		for len(e.controlQ) > 0 && e.controlQ[0].at < ctlBound {
 			ev := e.controlQ.pop()
 			e.controlNow = ev.at
 			e.steps++
 			ev.fn(Epoch.Add(time.Duration(ev.at)))
 		}
-		// Parallel phase: each shard executes its window.
+		// Hand every shard its horizon: no window may reach the next
+		// undrained control event or cross the deadline.
+		limitCtl := limit + 1
+		if len(e.controlQ) > 0 && e.controlQ[0].at < limitCtl {
+			limitCtl = e.controlQ[0].at
+		}
+		for i, s := range e.shards {
+			qmins[i] = math.MaxInt64
+			if len(s.queue) > 0 {
+				qmins[i] = s.queue[0].at
+			}
+		}
+		if !e.computeHorizons(qmins, limitCtl) {
+			if len(e.controlQ) == 0 {
+				break // nothing can run before the deadline
+			}
+			continue // only control events are due; drain more next pass
+		}
+		// Parallel phase: a batch of windows, paced by the workers.
+		e.batch.reset(e.cfg.BatchWindows, limitCtl)
+		e.barriers++
 		e.inPhase = true
 		for _, s := range e.shards {
-			s.start <- winEnd
+			s.start <- struct{}{}
 		}
 		for range e.shards {
 			<-e.done
 		}
 		e.inPhase = false
+		e.windows += e.batch.rounds
 		for _, s := range e.shards {
 			if s.panicked != nil {
 				// Re-raise a worker panic on the calling goroutine so
@@ -342,7 +407,8 @@ func (e *ShardedEngine) RunUntil(deadline time.Time) {
 				panic(s.panicked)
 			}
 		}
-		// Barrier, part 2: merge cross-shard posts into their heaps.
+		// Barrier, part 2: merge cross-shard posts into their heaps,
+		// then let the balancer move lanes while everything is parked.
 		for _, s := range e.shards {
 			for d, out := range s.outbox {
 				if len(out) == 0 {
@@ -354,7 +420,8 @@ func (e *ShardedEngine) RunUntil(deadline time.Time) {
 				s.outbox[d] = s.outbox[d][:0]
 			}
 		}
-		winStart = winEnd
+		e.sampleLoad()
+		e.maybeRebalance()
 	}
 	stopWorkers()
 	if limit > e.nowNanos {
@@ -364,30 +431,47 @@ func (e *ShardedEngine) RunUntil(deadline time.Time) {
 	e.controlNow = e.nowNanos
 }
 
-// work is one shard's window loop. A panic inside an event is captured
-// and re-raised by the coordinator on the calling goroutine.
+// work is one shard's dispatch loop: each coordinator dispatch runs a
+// batch of windows, paced through the worker-side barrier. A panic
+// inside an event is captured and re-raised by the coordinator on the
+// calling goroutine.
 func (e *ShardedEngine) work(s *shard) {
-	for end := range s.start {
-		if s.panicked == nil {
-			s.runWindow(end)
+	for range s.start {
+		for {
+			if s.panicked == nil {
+				e.runShardWindow(s)
+			}
+			if !e.batch.sync(e, s) {
+				break
+			}
 		}
 		e.done <- struct{}{}
 	}
 }
 
-func (s *shard) runWindow(end int64) {
+// runShardWindow executes the shard's events below its current horizon
+// in canonical order, accounting steps, per-lane event counts, and
+// busy wall-clock time.
+func (e *ShardedEngine) runShardWindow(s *shard) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panicked = r
 		}
 	}()
-	s.limit = end
+	end := s.limit
+	if len(s.queue) == 0 || s.queue[0].at >= end {
+		return
+	}
+	lanes := e.laneByID
+	t0 := time.Now()
 	for len(s.queue) > 0 && s.queue[0].at < end {
 		ev := s.queue.pop()
 		s.nowNanos = ev.at
 		s.steps++
+		lanes[ev.lane].execs++
 		ev.fn(Epoch.Add(time.Duration(ev.at)))
 	}
+	s.busyNS += int64(time.Since(t0))
 }
 
 // RunFor advances the simulation by d of virtual time.

@@ -88,9 +88,25 @@ func traceWorkload(t *testing.T, mk func() Sched, horizon time.Duration) []strin
 	return out
 }
 
+// forcedSchedulerConfig is the aggressive configuration the
+// equivalence tests use to make every scheduler mechanism actually
+// fire on small workloads: rebalancing at the slightest imbalance over
+// a 2-barrier window, deep batching, dynamic horizons.
+func forcedSchedulerConfig() SchedulerConfig {
+	return SchedulerConfig{
+		DynamicLookahead:   true,
+		BatchWindows:       4,
+		RebalanceThreshold: 1.01,
+		RebalanceWindow:    2,
+	}
+}
+
 // TestShardedMatchesSerial is the engine-level determinism contract:
 // for one seed, the sharded engine's per-lane execution traces are
-// identical to the serial engine's at every shard count.
+// identical to the serial engine's at every shard count — under the
+// default scheduler, the static baseline, and the forced-on adaptive
+// scheduler (rebalancing and batching aggressive enough to fire
+// constantly on this workload).
 func TestShardedMatchesSerial(t *testing.T) {
 	const seed = 42
 	const horizon = 700 * time.Millisecond
@@ -98,26 +114,41 @@ func TestShardedMatchesSerial(t *testing.T) {
 	if len(want) < 100 {
 		t.Fatalf("workload too small to be meaningful: %d trace lines", len(want))
 	}
+	configs := []struct {
+		name string
+		cfg  SchedulerConfig
+	}{
+		{"default", DefaultSchedulerConfig()},
+		{"static", StaticSchedulerConfig()},
+		{"forced", forcedSchedulerConfig()},
+	}
 	for _, shards := range []int{1, 2, 3, 8} {
-		shards := shards
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			got := traceWorkload(t, func() Sched {
-				e, err := NewSharded(seed, shards, 50*time.Millisecond)
-				if err != nil {
-					t.Fatal(err)
+		for _, tc := range configs {
+			shards, tc := shards, tc
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, tc.name), func(t *testing.T) {
+				var eng *ShardedEngine
+				got := traceWorkload(t, func() Sched {
+					e, err := NewShardedWithScheduler(seed, shards, 50*time.Millisecond, tc.cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					eng = e
+					return e
+				}, horizon)
+				if len(got) != len(want) {
+					t.Fatalf("trace length %d, serial %d", len(got), len(want))
 				}
-				return e
-			}, horizon)
-			if len(got) != len(want) {
-				t.Fatalf("trace length %d, serial %d", len(got), len(want))
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("trace diverges at line %d:\nserial:  %s\nsharded: %s",
-						i, want[i], got[i])
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trace diverges at line %d:\nserial:  %s\nsharded: %s",
+							i, want[i], got[i])
+					}
 				}
-			}
-		})
+				if st := eng.SchedStats(); tc.name == "forced" && shards > 1 && st.Migrations == 0 {
+					t.Errorf("forced scheduler never migrated a lane (stats %+v); the rebalance path went untested", st)
+				}
+			})
+		}
 	}
 }
 

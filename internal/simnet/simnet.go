@@ -189,6 +189,19 @@ func New(eng sim.Sched, opts ...Option) (*Network, error) {
 // Engine returns the underlying simulation scheduler.
 func (n *Network) Engine() sim.Sched { return n.eng }
 
+// CrossLaneBound returns a conservative lower bound on the timestamp
+// (as an offset from the simulation epoch) of any cross-lane event the
+// network could generate from sends made at or after virtual time
+// after: the send time plus the latency model's provable floor. It is
+// the network's half of the dynamic-lookahead contract — the sharded
+// engine's scheduler registers it (sim.ShardedEngine.SetCrossLaneBound)
+// and widens per-shard execution horizons with it, trusting that no
+// delivery is ever posted below the bound. The latency-floor property
+// tests in netmodel_test.go are what make that trust sound.
+func (n *Network) CrossLaneBound(after time.Duration) time.Duration {
+	return after + n.latency.MinLatency()
+}
+
 // lookup resolves an identity to its endpoint (nil if unknown).
 func (n *Network) lookup(id ids.ID) *Endpoint {
 	if idx, ok := ids.SimIndex(id); ok {

@@ -270,3 +270,30 @@ func TestUniformLatency(t *testing.T) {
 		t.Errorf("inverted range latency = %v", d)
 	}
 }
+
+func TestCrossLaneBound(t *testing.T) {
+	// The network's half of the dynamic-lookahead contract: the bound
+	// must be the latency model's provable floor past the send time.
+	eng := sim.New(6)
+	lat, err := NewLognormalLatency(7*time.Millisecond, 20*time.Millisecond, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(eng, WithLatencyModel(lat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, after := range []time.Duration{0, time.Second, time.Hour} {
+		if got, want := n.CrossLaneBound(after), after+7*time.Millisecond; got != want {
+			t.Errorf("CrossLaneBound(%v) = %v, want %v", after, got, want)
+		}
+	}
+	// A sharded cluster registers exactly this bound; no latency draw
+	// may ever undercut it (TestLatencyModelsNeverBelowFloor), so the
+	// scheduler can widen horizons with it safely.
+	for i := 0; i < 1000; i++ {
+		if d := lat.Latency(ids.Sim(1), ids.Sim(2), eng.Rand()); time.Duration(0)+d < n.CrossLaneBound(0) {
+			t.Fatalf("latency draw %v below CrossLaneBound(0) = %v", d, n.CrossLaneBound(0))
+		}
+	}
+}
