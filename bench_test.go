@@ -61,6 +61,12 @@ func BenchmarkWan(b *testing.B) { benchExperiment(b, "wan") }
 // size. The real sweep: go run ./cmd/avmon-bench -run skew
 func BenchmarkSkew(b *testing.B) { benchExperiment(b, "skew") }
 
+// BenchmarkChaos runs the adversarial/chaos suite (collusion, zone
+// outage, flash crowd, mass leave — each a paired-seed A/B with a
+// control-arm gate) at a reduced size. The real sweep:
+// go run ./cmd/avmon-bench -run chaos
+func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
+
 // BenchmarkFigure3 regenerates Figure 3 (average discovery time of
 // first monitors vs N, STAT/SYNTH/SYNTH-BD).
 func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }

@@ -57,6 +57,44 @@ func NewHotspotModel(n, stride int) (ChurnModel, error) {
 	return churn.NewHotspot(churn.HotspotConfig{N: n, Stride: stride})
 }
 
+// ZoneOutage is one scheduled correlated fault of the zone-outage
+// chaos model: zone Zone is down (failed or partitioned away) from
+// Start to End of virtual time. See NewZoneOutageModel and
+// ParseOutageSchedule.
+type ZoneOutage = churn.ZoneOutage
+
+// ParseOutageSchedule parses the textual zone-outage schedule format
+// (comma-separated `zone@start+duration` entries, Go duration syntax;
+// e.g. "1@30m+10m,2@1h+5m") used by avmon-bench and the chaos
+// experiment.
+func ParseOutageSchedule(s string) ([]ZoneOutage, error) {
+	return churn.ParseOutageSchedule(s)
+}
+
+// NewZoneOutageModel returns the correlated zone-outage chaos model: n
+// static nodes spread across zones zones (node index mod zones —
+// exactly NewZoneLatency's node → zone mapping, so an outage takes out
+// one latency-matrix row's worth of nodes), with whole zones killed
+// and restored on the given schedule. Outage and heal are the
+// partition-and-heal fault of the chaos experiment's zone-outage
+// scenario.
+func NewZoneOutageModel(n, zones int, schedule []ZoneOutage) (ChurnModel, error) {
+	return churn.NewZoneOutage(churn.ZoneOutageConfig{N: n, Zones: zones, Schedule: schedule})
+}
+
+// StormConfig parameterizes the flash-crowd / mass-leave storm chaos
+// model: a static ordered base population plus deterministic join and
+// leave waves. See the chaos experiment's flash-crowd and mass-leave
+// scenarios.
+type StormConfig = churn.StormConfig
+
+// NewStormModel returns the flash-crowd / mass-leave storm model.
+// With both shocks zeroed it degenerates to an ordered static
+// population — the storm scenarios' attack-off control arm.
+func NewStormModel(cfg StormConfig) (ChurnModel, error) {
+	return churn.NewStorm(cfg)
+}
+
 // NewPlanetLabModel returns a trace-driven model over a synthetic
 // PlanetLab-like availability trace (N hosts, 1-second granularity,
 // ≈91% availability; see DESIGN.md for the substitution rationale).
@@ -123,6 +161,13 @@ type ClusterConfig struct {
 	// OverreportFraction makes this fraction of nodes report 100%
 	// availability for everything they monitor (Figure 20's attack).
 	OverreportFraction float64
+	// Collusion, when non-nil, stages the collusion/eclipse attack: a
+	// colluding ring of nodes that suppress or forge availability
+	// reports for the victims they are assigned to monitor. nil — and
+	// a config with Fraction 0 — leave every node honest and the run
+	// byte-identical to one without the field (the chaos experiment's
+	// control-arm gate).
+	Collusion *CollusionConfig
 	// Latency is the constant one-way message latency (default 50ms),
 	// used when LatencyModel is nil.
 	Latency time.Duration
@@ -145,6 +190,43 @@ type ClusterConfig struct {
 	// is owned by the sender's lane, preserving determinism under
 	// sharding.
 	LossModel LossModel
+}
+
+// CollusionConfig parameterizes the collusion/eclipse attack of the
+// chaos experiment (the adversary model of Section 4.3): a colluding
+// ring that protects its own members while suppressing or forging the
+// availability reports of everyone else it is assigned to monitor.
+//
+// Colluder membership is deterministic: the top ⌈Fraction·N⌉ indexes
+// of the initial population collude, nodes born later (churn births,
+// control enrollees) are honest. The attack therefore consumes no
+// extra randomness, and a Fraction-0 (or nil) configuration is
+// byte-identical to an attack-free run — the property the chaos
+// experiment's control-arm gate enforces.
+type CollusionConfig struct {
+	// Fraction of the stable population N that colludes, in [0, 1].
+	Fraction float64
+	// SuppressPings makes colluders drop their monitoring duty toward
+	// victims entirely: no MON pings, hence no availability history —
+	// the eclipse half of the attack. A victim whose every alive
+	// monitor colludes is fully eclipsed: nobody measures it.
+	SuppressPings bool
+	// ForgedAvail is the availability a colluder reports for every
+	// victim it is asked about: 1 whitewashes (the overreporting
+	// attack, mounted by a coordinated ring), 0 defames. A negative
+	// value suppresses the report instead (the colluder claims not to
+	// monitor the victim). Must be ≤ 1. Fellow colluders are always
+	// reported honestly.
+	ForgedAvail float64
+}
+
+// colluders returns how many nodes collude under this config at
+// stable size n.
+func (cc *CollusionConfig) colluders(n int) int {
+	if cc == nil {
+		return 0
+	}
+	return int(cc.Fraction*float64(n) + 0.5)
 }
 
 // Traffic is a snapshot of one node's network counters.
@@ -238,6 +320,10 @@ type Cluster struct {
 	members []*member
 	k       int
 	cvs     int
+	// colludeFrom is the first colluding index: members with
+	// idx ≥ colludeFrom (among the initial N) run the collusion
+	// attack. Equal to cfg.N when nobody colludes.
+	colludeFrom int
 }
 
 var _ churn.Driver = (*Cluster)(nil)
@@ -259,6 +345,14 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 	}
 	if cfg.OverreportFraction < 0 || cfg.OverreportFraction > 1 {
 		return nil, fmt.Errorf("avmon: OverreportFraction %v outside [0,1]", cfg.OverreportFraction)
+	}
+	if cc := cfg.Collusion; cc != nil {
+		if cc.Fraction < 0 || cc.Fraction > 1 {
+			return nil, fmt.Errorf("avmon: collusion Fraction %v outside [0,1]", cc.Fraction)
+		}
+		if cc.ForgedAvail > 1 {
+			return nil, fmt.Errorf("avmon: ForgedAvail %v exceeds 1", cc.ForgedAvail)
+		}
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
@@ -305,12 +399,13 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 		eng = sim.New(cfg.Seed)
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		eng:    eng,
-		scheme: scheme,
-		model:  model,
-		k:      k,
-		cvs:    cfg.Options.cvsFor(cfg.N),
+		cfg:         cfg,
+		eng:         eng,
+		scheme:      scheme,
+		model:       model,
+		k:           k,
+		cvs:         cfg.Options.cvsFor(cfg.N),
+		colludeFrom: cfg.N - cfg.Collusion.colluders(cfg.N),
 	}
 	c.net, err = simnet.New(eng,
 		simnet.WithLatencyModel(latency),
@@ -398,6 +493,29 @@ func (c *Cluster) Birth(idx int) {
 		Overreport:       rng.Float64() < c.cfg.OverreportFraction,
 		DisableReshuffle: c.cfg.Options.DisableReshuffle,
 		RejoinFullWeight: c.cfg.Options.RejoinFullWeight,
+	}
+	if cc := c.cfg.Collusion; cc != nil && c.IsColluder(idx) {
+		// The colluder's hooks are pure functions of the target
+		// identity (the ring roster is fixed at construction), so they
+		// are safe to run on the member's lane under sharding. Fellow
+		// colluders are treated honestly; everyone else is a victim.
+		victim := func(target ids.ID) bool {
+			ti, ok := ids.SimIndex(target)
+			return ok && !c.IsColluder(ti)
+		}
+		if cc.SuppressPings {
+			nodeCfg.SuppressMonPing = victim
+		}
+		forged := cc.ForgedAvail
+		nodeCfg.ForgeReport = func(target ids.ID, est float64, known bool) (float64, bool) {
+			if !victim(target) {
+				return est, known
+			}
+			if forged < 0 {
+				return 0, false
+			}
+			return forged, true
+		}
 	}
 	node, err := core.NewNode(nodeCfg)
 	if err != nil {
@@ -542,6 +660,13 @@ func (c *Cluster) EnrollControl(count int) []int {
 		out = append(out, c.model.Enroll())
 	}
 	return out
+}
+
+// IsColluder reports whether node idx belongs to the colluding ring
+// staged by ClusterConfig.Collusion: the top ⌈Fraction·N⌉ indexes of
+// the initial population. Always false without a Collusion config.
+func (c *Cluster) IsColluder(idx int) bool {
+	return c.cfg.Collusion != nil && idx >= c.colludeFrom && idx < c.cfg.N
 }
 
 // IDOf returns the identity of node idx.

@@ -398,6 +398,56 @@ func TestShardedClusterMatchesSerial(t *testing.T) {
 			},
 			mk: func() (ChurnModel, error) { return NewSYNTHModel(100, 0.2) },
 		},
+		{
+			// Collusion attack: a quarter of the population suppresses
+			// pings and defames its victims. The hooks run on member
+			// lanes, so this proves they are shard-safe pure functions.
+			name: "chaos-collusion",
+			cfg: ClusterConfig{
+				N: 90, Seed: 26,
+				Collusion: &CollusionConfig{Fraction: 0.25, SuppressPings: true, ForgedAvail: 0},
+				Options:   NodeOptions{Forgetful: true},
+			},
+			mk: func() (ChurnModel, error) { return NewSYNTHBDModel(90, 0.3, 0.3) },
+		},
+		{
+			// Correlated zone outages under the matching zone-matrix
+			// latency: whole zones fail and heal mid-fingerprint, with
+			// the second outage straddling the control-enroll boundary.
+			name: "chaos-zone-outage",
+			cfg: ClusterConfig{
+				N: 90, Seed: 27,
+				LatencyModel: mustLatency(t, func() (LatencyModel, error) {
+					return NewZoneLatency([][]time.Duration{
+						{10 * time.Millisecond, 80 * time.Millisecond, 150 * time.Millisecond},
+						{85 * time.Millisecond, 15 * time.Millisecond, 200 * time.Millisecond},
+						{140 * time.Millisecond, 210 * time.Millisecond, 12 * time.Millisecond},
+					}, 0.25)
+				}),
+				Loss: 0.02,
+			},
+			mk: func() (ChurnModel, error) {
+				schedule, err := ParseOutageSchedule("1@10m+10m,2@24m+5m")
+				if err != nil {
+					return nil, err
+				}
+				return NewZoneOutageModel(90, 3, schedule)
+			},
+		},
+		{
+			// Flash crowd plus mass leave and heal, all inside the
+			// fingerprint window: deterministic population shocks on
+			// top of the ordered-join base.
+			name: "chaos-flash-crowd",
+			cfg:  ClusterConfig{N: 80, Seed: 28, Options: NodeOptions{Forgetful: true}},
+			mk: func() (ChurnModel, error) {
+				return NewStormModel(StormConfig{
+					N: 80, SurgeNodes: 40, SurgeAt: 8 * time.Minute, SurgeWindow: 4 * time.Minute,
+					LeaveNodes: 30, LeaveAt: 18 * time.Minute, LeaveWindow: 4 * time.Minute,
+					HealAt: 30 * time.Minute,
+				})
+			},
+		},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,6 +9,7 @@
 //	avmon-bench -run scale -shards 8 -cpuprofile scale.pprof
 //	avmon-bench -run wan -shards 4 -sched static
 //	avmon-bench -run skew -shards 4
+//	avmon-bench -run chaos -chaos collusion,zone-outage
 //
 // Scale 1.0 approximates the paper's methodology (hour-scale warm-up
 // and multi-hour measurement windows); smaller scales shrink the
@@ -77,6 +78,30 @@ func parseSched(arg string) (*avmon.SchedulerConfig, error) {
 	return &cfg, nil
 }
 
+// parseChaos resolves the -chaos flag into the scenario subset the
+// chaos experiment should run (nil = all). Unknown names are rejected
+// with the full valid list, mirroring parseSched.
+func parseChaos(arg string) ([]string, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return nil, nil
+	}
+	valid := make(map[string]bool)
+	for _, name := range experiments.ChaosScenarioNames() {
+		valid[name] = true
+	}
+	var out []string
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if !valid[tok] {
+			return nil, fmt.Errorf("unknown -chaos scenario %q (valid scenarios: %s)",
+				tok, strings.Join(experiments.ChaosScenarioNames(), ", "))
+		}
+		out = append(out, tok)
+	}
+	return out, nil
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "avmon-bench:", err)
@@ -95,6 +120,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "concurrent sweep points per experiment (0 = GOMAXPROCS; results are identical at any setting)")
 		shards   = fs.Int("shards", 0, "parallel engine shards within each single simulation (0/1 = serial; results are identical at any setting; 'scale' also reruns each point sharded and reports the speedup)")
 		sched    = fs.String("sched", "default", "sharded-engine scheduler modes, comma-separated: default, static, all, rebalance, dynamic, batch (results are identical at any setting)")
+		chaos    = fs.String("chaos", "", "comma-separated chaos scenario subset for -run chaos (empty = all; see -run list)")
 		progress = fs.Bool("progress", false, "report sweep-point completion on stderr")
 		outDir   = fs.String("outdir", ".", "directory for machine-readable artifacts (e.g. BENCH_scale.json)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -134,6 +160,10 @@ func run(args []string) error {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		fmt.Println("\nchaos scenarios (select with -chaos name[,name...]):")
+		for _, s := range experiments.ChaosScenarios() {
+			fmt.Printf("  %-12s %s\n", s.Name, s.Summary)
+		}
 		return nil
 	}
 	if *runID == "" {
@@ -149,9 +179,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	chaosNames, err := parseChaos(*chaos)
+	if err != nil {
+		return err
+	}
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, Parallelism: *parallel,
-		Shards: *shards, Scheduler: schedCfg,
+		Shards: *shards, Scheduler: schedCfg, Chaos: chaosNames,
 	}
 	if *ns != "" {
 		for _, part := range strings.Split(*ns, ",") {
@@ -168,13 +202,13 @@ func run(args []string) error {
 		// "all" is the paper-reproduction flow. The beyond-paper
 		// sweeps are excluded: the large-N scale sweep because its N
 		// is fixed at 10k/30k/100k regardless of -scale (a 100k point
-		// costs minutes of wall time and gigabytes of RSS), and wan
-		// and skew because all three write checked-in JSON artifacts
-		// that must only be regenerated by explicit,
+		// costs minutes of wall time and gigabytes of RSS), and wan,
+		// skew, and chaos because all four write checked-in JSON
+		// artifacts that must only be regenerated by explicit,
 		// deliberately-scaled runs. Run them with -run scale /
-		// -run wan / -run skew.
+		// -run wan / -run skew / -run chaos.
 		for _, id := range experiments.IDs() {
-			if id != "scale" && id != "wan" && id != "skew" {
+			if id != "scale" && id != "wan" && id != "skew" && id != "chaos" {
 				toRun = append(toRun, id)
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"avmon/internal/experiments"
 )
 
 func TestRunList(t *testing.T) {
@@ -66,6 +68,36 @@ func TestRunBadSched(t *testing.T) {
 		if !strings.Contains(err.Error(), mode) {
 			t.Errorf("-sched error %q does not list valid mode %q", err, mode)
 		}
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	names := experiments.ChaosScenarioNames()
+	for _, arg := range []string{"", "  ", names[0], strings.Join(names, ","),
+		" " + names[0] + " , " + names[len(names)-1]} {
+		if _, err := parseChaos(arg); err != nil {
+			t.Errorf("parseChaos(%q) failed: %v", arg, err)
+		}
+	}
+	if got, _ := parseChaos(""); got != nil {
+		t.Error("empty -chaos should select all scenarios (nil)")
+	}
+}
+
+func TestRunBadChaos(t *testing.T) {
+	err := run([]string{"-run", "chaos", "-chaos", "meteor-strike"})
+	if err == nil {
+		t.Fatal("unknown -chaos scenario accepted")
+	}
+	// The error is the discovery surface: it must name every valid
+	// scenario.
+	for _, name := range experiments.ChaosScenarioNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("-chaos error %q does not list valid scenario %q", err, name)
+		}
+	}
+	if err := run([]string{"-run", "chaos", "-chaos", "collusion,,zone-outage"}); err == nil {
+		t.Error("empty entry in -chaos list accepted")
 	}
 }
 

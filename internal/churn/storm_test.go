@@ -1,0 +1,126 @@
+package churn
+
+import (
+	"testing"
+	"time"
+
+	"avmon/internal/sim"
+)
+
+func TestStormValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  StormConfig
+	}{
+		{"zero N", StormConfig{N: 0}},
+		{"negative surge", StormConfig{N: 10, SurgeNodes: -1}},
+		{"negative leave", StormConfig{N: 10, LeaveNodes: -1}},
+		{"leave exceeds N", StormConfig{N: 10, LeaveNodes: 11, LeaveAt: time.Minute, LeaveWindow: time.Minute}},
+		{"surge without window", StormConfig{N: 10, SurgeNodes: 2, SurgeAt: time.Minute}},
+		{"leave without window", StormConfig{N: 10, LeaveNodes: 2, LeaveAt: time.Minute}},
+		{"heal before leave ends", StormConfig{
+			N: 10, LeaveNodes: 2, LeaveAt: 10 * time.Minute, LeaveWindow: 10 * time.Minute,
+			HealAt: 15 * time.Minute,
+		}},
+	} {
+		if _, err := NewStorm(tc.cfg); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+	if _, err := NewStorm(StormConfig{N: 10}); err != nil {
+		t.Errorf("degenerate static storm rejected: %v", err)
+	}
+}
+
+func TestStormSurgeLeaveHeal(t *testing.T) {
+	m, err := NewStorm(StormConfig{
+		N:          10,
+		SurgeNodes: 4, SurgeAt: 30 * time.Minute, SurgeWindow: 8 * time.Minute,
+		LeaveNodes: 5, LeaveAt: time.Hour, LeaveWindow: 10 * time.Minute,
+		HealAt: 90 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "STORM" || m.StableN() != 10 {
+		t.Fatalf("Name/StableN = %q/%d", m.Name(), m.StableN())
+	}
+	eng := sim.New(5)
+	rec := newRecorder()
+	m.Install(eng, rec)
+
+	eng.RunFor(20 * time.Minute)
+	if len(rec.alive) != 10 {
+		t.Fatalf("pre-surge alive = %d, want 10", len(rec.alive))
+	}
+	eng.RunFor(25 * time.Minute) // t = 45m: surge complete
+	if len(rec.alive) != 14 {
+		t.Fatalf("post-surge alive = %d, want 14", len(rec.alive))
+	}
+	// The flash-crowd cohort owns the indexes right after the base
+	// population.
+	for idx := 10; idx < 14; idx++ {
+		if !rec.alive[idx] {
+			t.Fatalf("surge node %d not alive after the surge window", idx)
+		}
+	}
+	eng.RunFor(30 * time.Minute) // t = 75m: mass leave complete
+	if len(rec.alive) != 9 {
+		t.Fatalf("post-leave alive = %d, want 9", len(rec.alive))
+	}
+	for idx := 0; idx < 5; idx++ {
+		if rec.alive[idx] {
+			t.Fatalf("leaver %d still alive after the leave window", idx)
+		}
+	}
+	eng.RunFor(30 * time.Minute) // t = 105m: healed
+	if len(rec.alive) != 14 {
+		t.Fatalf("post-heal alive = %d, want 14", len(rec.alive))
+	}
+	if rec.births != 14 || rec.leaves != 5 || rec.rejoins != 5 || rec.deaths != 0 {
+		t.Fatalf("births/leaves/rejoins/deaths = %d/%d/%d/%d, want 14/5/5/0",
+			rec.births, rec.leaves, rec.rejoins, rec.deaths)
+	}
+}
+
+func TestStormWithoutHealLeavesGone(t *testing.T) {
+	m, err := NewStorm(StormConfig{
+		N: 8, LeaveNodes: 3, LeaveAt: 30 * time.Minute, LeaveWindow: 6 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(6)
+	rec := newRecorder()
+	m.Install(eng, rec)
+	eng.RunFor(3 * time.Hour)
+	if len(rec.alive) != 5 {
+		t.Fatalf("alive = %d, want 5 (no heal scheduled)", len(rec.alive))
+	}
+	if rec.rejoins != 0 {
+		t.Fatalf("rejoins = %d, want 0", rec.rejoins)
+	}
+}
+
+func TestStormEnrollAfterSurge(t *testing.T) {
+	m, err := NewStorm(StormConfig{
+		N: 6, SurgeNodes: 3, SurgeAt: 10 * time.Minute, SurgeWindow: 3 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(7)
+	rec := newRecorder()
+	m.Install(eng, rec)
+	eng.RunFor(5 * time.Minute)
+	// Enrolling before the surge fires must not collide with the
+	// pre-allocated surge cohort (indexes 6..8).
+	idx := m.Enroll()
+	if idx < 9 {
+		t.Fatalf("Enroll index %d collides with the surge cohort [6, 9)", idx)
+	}
+	eng.RunFor(15 * time.Minute)
+	if len(rec.alive) != 10 {
+		t.Fatalf("alive = %d, want 10", len(rec.alive))
+	}
+}

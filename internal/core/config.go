@@ -66,6 +66,24 @@ type Config struct {
 	// Section 5.4, Figure 20).
 	Overreport bool
 
+	// SuppressMonPing, when non-nil, makes this node a colluding
+	// monitor that silently drops its monitoring duty towards selected
+	// targets: MonitorTick skips every target for which the hook
+	// returns true (counted in MonitoringStats.PingsSuppressed). The
+	// hook must be a pure function of the target identity — it runs on
+	// the node's lane and must not draw randomness or retain state, or
+	// sharded runs lose determinism.
+	SuppressMonPing func(target ids.ID) bool
+	// ForgeReport, when non-nil, intercepts every availability
+	// estimate this node is about to report for a target it monitors
+	// (EstimateOf, and therefore AVAIL responses): it receives the
+	// honest estimate and whether one exists, and returns what the
+	// node actually reports. Colluders use it to whitewash or defame
+	// the victims they monitor, or to suppress the report entirely
+	// (return ok=false). Like SuppressMonPing it must be a pure
+	// function of its inputs.
+	ForgeReport func(target ids.ID, est float64, known bool) (float64, bool)
+
 	// Ablation knobs (evaluation only — they disable parts of the
 	// published protocol to measure their contribution):
 

@@ -26,9 +26,10 @@ type target struct {
 	down         bool
 	downSince    time.Time
 
-	pingsSent  uint64
-	acks       uint64
-	pingsSaved uint64 // pings skipped by the forgetful optimization
+	pingsSent       uint64
+	acks            uint64
+	pingsSaved      uint64 // pings skipped by the forgetful optimization
+	pingsSuppressed uint64 // pings withheld by a colluding monitor
 }
 
 func newTarget(id ids.ID, historyStyle string, now time.Time) *target {
@@ -65,7 +66,14 @@ func (n *Node) MonitorTick(now time.Time) {
 				}
 			}
 		}
-		// 2. Decide whether to probe this round.
+		// 2. A colluding monitor drops its duty towards victims
+		// entirely (the eclipse half of the collusion attack): no
+		// probe, so no observation and no availability history.
+		if n.cfg.SuppressMonPing != nil && n.cfg.SuppressMonPing(t.id) {
+			t.pingsSuppressed++
+			continue
+		}
+		// 3. Decide whether to probe this round.
 		if n.cfg.Forgetful && t.down {
 			downFor := now.Sub(t.downSince)
 			if downFor > n.cfg.ForgetfulTau {
@@ -85,7 +93,7 @@ func (n *Node) MonitorTick(now time.Time) {
 				}
 			}
 		}
-		// 3. Probe.
+		// 4. Probe.
 		t.awaitingSeq = n.nextSeq()
 		t.awaitingAt = now
 		t.pingsSent++
@@ -113,19 +121,25 @@ func (n *Node) handleMonAck(from ids.ID, seq uint64, now time.Time) {
 
 // EstimateOf returns this node's availability estimate for a node it
 // monitors, and whether it monitors it at all. An overreporting
-// monitor (Section 5.4) returns 100% for every target.
+// monitor (Section 5.4) returns 100% for every target; a colluding
+// monitor's ForgeReport hook gets the final word on what leaves the
+// node.
 func (n *Node) EstimateOf(u ids.ID) (float64, bool) {
 	t, ok := n.ts[u]
 	if !ok {
 		return 0, false
 	}
-	if n.cfg.Overreport {
-		return 1.0, true
+	est, known := 0.0, false
+	switch {
+	case n.cfg.Overreport:
+		est, known = 1.0, true
+	case t.store.Samples() > 0:
+		est, known = t.store.Estimate(n.lastTickTime()), true
 	}
-	if t.store.Samples() == 0 {
-		return 0, false
+	if n.cfg.ForgeReport != nil {
+		return n.cfg.ForgeReport(u, est, known)
 	}
-	return t.store.Estimate(n.lastTickTime()), true
+	return est, known
 }
 
 // lastTickTime approximates "now" for estimate queries; windowed
@@ -146,10 +160,11 @@ func (n *Node) lastTickTime() time.Time {
 
 // MonitoringStats summarizes the node's monitoring activity.
 type MonitoringStats struct {
-	Targets    int
-	PingsSent  uint64
-	Acks       uint64
-	PingsSaved uint64
+	Targets         int
+	PingsSent       uint64
+	Acks            uint64
+	PingsSaved      uint64
+	PingsSuppressed uint64
 }
 
 // MonitoringStats returns a snapshot of monitoring activity counters.
@@ -160,6 +175,7 @@ func (n *Node) MonitoringStats() MonitoringStats {
 		s.PingsSent += t.pingsSent
 		s.Acks += t.acks
 		s.PingsSaved += t.pingsSaved
+		s.PingsSuppressed += t.pingsSuppressed
 	}
 	return s
 }

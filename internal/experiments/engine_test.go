@@ -186,12 +186,14 @@ func TestParallelMatchesSerial(t *testing.T) {
 // (Options.Shards, avmon-bench -shards) changes nothing about an
 // experiment's rendered output at any shard count. The wan experiment
 // covers the heterogeneous latency/loss models, whose sharded runs use
-// each model's MinLatency floor as the adaptive lookahead.
+// each model's MinLatency floor as the adaptive lookahead; chaos
+// covers the adversarial suite (collusion hooks, zone-outage events,
+// storm shocks) plus its stepped RunFor sampling loop.
 func TestShardedSweepMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
 	}
-	for _, id := range []string{"table1", "figure3", "wan"} {
+	for _, id := range []string{"table1", "figure3", "wan", "chaos"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			render := func(shards int) string {

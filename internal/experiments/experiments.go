@@ -59,6 +59,10 @@ type Options struct {
 	// runs. It must not assume any completion order, and done reaches
 	// total only when the sweep succeeds.
 	Progress ProgressFunc
+	// Chaos restricts the chaos experiment to the named scenarios
+	// (avmon-bench -chaos). Empty runs them all; an unknown name is an
+	// error listing the valid ones.
+	Chaos []string
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +173,7 @@ func Registry() map[string]Runner {
 		"scale":    Scale,
 		"wan":      Wan,
 		"skew":     Skew,
+		"chaos":    Chaos,
 		"figure3":  Figure3,
 		"figure4":  Figure4,
 		"figure5":  Figure5,

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"avmon/internal/sim"
+)
+
+// TestTimeScaleTable sweeps the replay-acceleration factors over an
+// Overnet-style trace (20-minute granularity, so 10/50/100 all divide
+// into whole seconds) and checks the exact-compression contract:
+// structure preserved, every duration divided exactly, every
+// availability ratio bit-identical.
+func TestTimeScaleTable(t *testing.T) {
+	orig := GenerateOvernet(120, 48*time.Hour, 11)
+	for _, factor := range []int{10, 50, 100} {
+		factor := factor
+		t.Run(fmt.Sprintf("x%d", factor), func(t *testing.T) {
+			scaled, err := TimeScale(orig, factor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := time.Duration(factor)
+			if scaled.Name != fmt.Sprintf("OV-x%d", factor) {
+				t.Errorf("Name = %q", scaled.Name)
+			}
+			if scaled.Granularity != orig.Granularity/f || scaled.Duration != orig.Duration/f {
+				t.Errorf("granularity/duration = %v/%v, want %v/%v",
+					scaled.Granularity, scaled.Duration, orig.Granularity/f, orig.Duration/f)
+			}
+			if scaled.StableN != orig.StableN || len(scaled.Nodes) != len(orig.Nodes) {
+				t.Errorf("StableN/nodes = %d/%d, want %d/%d",
+					scaled.StableN, len(scaled.Nodes), orig.StableN, len(orig.Nodes))
+			}
+			for i := range orig.Nodes {
+				on, sn := &orig.Nodes[i], &scaled.Nodes[i]
+				if sn.Uptime() != on.Uptime()/f {
+					t.Fatalf("node %d: uptime %v, want %v", i, sn.Uptime(), on.Uptime()/f)
+				}
+				// Both numerator and denominator divide exactly, so the
+				// availability ratio is the same rational number and its
+				// correctly-rounded float64 is bit-identical.
+				if sn.Availability(scaled.Duration) != on.Availability(orig.Duration) {
+					t.Fatalf("node %d: availability %v, want %v",
+						i, sn.Availability(scaled.Duration), on.Availability(orig.Duration))
+				}
+			}
+			// Scaling is deterministic: a second application is
+			// structurally identical.
+			again, err := TimeScale(orig, factor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scaled, again) {
+				t.Error("TimeScale is not deterministic")
+			}
+		})
+	}
+}
+
+// TestTimeScaleRoundTripsThroughIO writes each scaled trace in the
+// avmon-trace-v1 format and reads it back: the whole-second scaled
+// granularities survive the integer-second wire format losslessly.
+func TestTimeScaleRoundTripsThroughIO(t *testing.T) {
+	orig := GenerateOvernet(80, 24*time.Hour, 13)
+	for _, factor := range []int{10, 50, 100} {
+		scaled, err := TimeScale(orig, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, scaled); err != nil {
+			t.Fatalf("x%d: write: %v", factor, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("x%d: read: %v", factor, err)
+		}
+		if !reflect.DeepEqual(got, scaled) {
+			t.Errorf("x%d: io round-trip altered the scaled trace", factor)
+		}
+	}
+}
+
+// replayEvent is one recorded driver callback with its virtual time.
+type replayEvent struct {
+	at   time.Duration
+	kind string
+	idx  int
+}
+
+// replayRecorder captures the exact (time, kind, index) sequence a
+// model delivers — the ground truth for scaled-replay determinism.
+type replayRecorder struct {
+	eng    *sim.Engine
+	events []replayEvent
+}
+
+func (r *replayRecorder) add(kind string, idx int) {
+	r.events = append(r.events, replayEvent{at: r.eng.Elapsed(), kind: kind, idx: idx})
+}
+
+func (r *replayRecorder) Birth(idx int)  { r.add("birth", idx) }
+func (r *replayRecorder) Rejoin(idx int) { r.add("rejoin", idx) }
+func (r *replayRecorder) Leave(idx int)  { r.add("leave", idx) }
+func (r *replayRecorder) Death(idx int)  { r.add("death", idx) }
+
+// replay runs a trace through the Model adapter on a fresh engine and
+// returns the full lifecycle event sequence.
+func replay(t *testing.T, tr *Trace) []replayEvent {
+	t.Helper()
+	m, err := NewModel(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(1)
+	rec := &replayRecorder{eng: eng}
+	m.Install(eng, rec)
+	eng.RunFor(tr.Duration)
+	return rec.events
+}
+
+// TestTimeScaleReplayDeterminism replays the original and scaled
+// traces through the sim engine: the scaled replay must deliver the
+// identical event sequence (same kinds, same node indexes, same
+// order) with every timestamp divided by the factor.
+func TestTimeScaleReplayDeterminism(t *testing.T) {
+	orig := GenerateOvernet(60, 24*time.Hour, 17)
+	base := replay(t, orig)
+	if len(base) == 0 {
+		t.Fatal("original replay produced no events")
+	}
+	for _, factor := range []int{10, 50, 100} {
+		scaled, err := TimeScale(orig, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := replay(t, scaled)
+		if len(got) != len(base) {
+			t.Fatalf("x%d: %d events, want %d", factor, len(got), len(base))
+		}
+		f := time.Duration(factor)
+		for i, ev := range got {
+			want := replayEvent{at: base[i].at / f, kind: base[i].kind, idx: base[i].idx}
+			if ev != want {
+				t.Fatalf("x%d: event %d = %+v, want %+v", factor, i, ev, want)
+			}
+		}
+	}
+}
+
+// TestTimeScaleErrors covers the rejection paths: non-positive factors
+// and factors that do not divide the granularity.
+func TestTimeScaleErrors(t *testing.T) {
+	orig := GenerateOvernet(20, 12*time.Hour, 19)
+	for _, factor := range []int{0, -4, 7} {
+		if _, err := TimeScale(orig, factor); err == nil {
+			t.Errorf("factor %d: expected an error", factor)
+		}
+	}
+	if _, err := TimeScale(orig, 1); err != nil {
+		t.Errorf("factor 1: %v", err)
+	}
+}
