@@ -67,6 +67,11 @@ func BenchmarkSkew(b *testing.B) { benchExperiment(b, "skew") }
 // go run ./cmd/avmon-bench -run chaos
 func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
 
+// BenchmarkQuery runs the query-plane load test (cache × batch
+// regimes over the real codec, verification, and answer cache) at a
+// reduced size. The real sweep: go run ./cmd/avmon-bench -run query
+func BenchmarkQuery(b *testing.B) { benchExperiment(b, "query") }
+
 // BenchmarkFigure3 regenerates Figure 3 (average discovery time of
 // first monitors vs N, STAT/SYNTH/SYNTH-BD).
 func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }

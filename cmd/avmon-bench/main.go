@@ -203,12 +203,15 @@ func run(args []string) error {
 		// sweeps are excluded: the large-N scale sweep because its N
 		// is fixed at 10k/30k/100k regardless of -scale (a 100k point
 		// costs minutes of wall time and gigabytes of RSS), and wan,
-		// skew, and chaos because all four write checked-in JSON
-		// artifacts that must only be regenerated by explicit,
+		// skew, chaos, and query because all five write checked-in
+		// JSON artifacts that must only be regenerated by explicit,
 		// deliberately-scaled runs. Run them with -run scale /
-		// -run wan / -run skew / -run chaos.
+		// -run wan / -run skew / -run chaos / -run query.
+		excluded := map[string]bool{
+			"scale": true, "wan": true, "skew": true, "chaos": true, "query": true,
+		}
 		for _, id := range experiments.IDs() {
-			if id != "scale" && id != "wan" && id != "skew" && id != "chaos" {
+			if !excluded[id] {
 				toRun = append(toRun, id)
 			}
 		}

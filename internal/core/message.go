@@ -52,6 +52,13 @@ const (
 	// MsgAvailResp carries the estimate in Avail (Known reports
 	// whether the monitor actually tracks Subject).
 	MsgAvailResp
+	// MsgAvailBatchReq asks a monitor for its availability estimates
+	// of every node in View — one socket round-trip for many subjects
+	// (the batched query frontend).
+	MsgAvailBatchReq
+	// MsgAvailBatchResp answers MsgAvailBatchReq: View echoes the
+	// requested subjects, Avails and Knowns are aligned with it.
+	MsgAvailBatchResp
 )
 
 // String implements fmt.Stringer.
@@ -83,6 +90,10 @@ func (t MsgType) String() string {
 		return "AVAIL-REQ"
 	case MsgAvailResp:
 		return "AVAIL-RESP"
+	case MsgAvailBatchReq:
+		return "AVAIL-BATCH-REQ"
+	case MsgAvailBatchResp:
+		return "AVAIL-BATCH-RESP"
 	default:
 		return "UNKNOWN"
 	}
@@ -96,11 +107,24 @@ type Message struct {
 	Subject ids.ID   // JOIN joiner / AVAIL-REQ target
 	Weight  int      // JOIN spread budget
 	U, V    ids.ID   // NOTIFY pair: U ∈ PS(V)
-	View    []ids.ID // CV-RESP and REPORT-RESP payloads
+	View    []ids.ID // CV-RESP, REPORT-RESP, and AVAIL-BATCH payloads
 	Seq     uint64   // request/response matching
 	Count   int      // REPORT-REQ: number of monitors requested
 	Avail   float64  // AVAIL-RESP estimate
 	Known   bool     // AVAIL-RESP: whether the responder monitors Subject
+
+	// Nonce is the query-correlation nonce: REPORT-REQ, AVAIL-REQ, and
+	// AVAIL-BATCH-REQ carry a caller-chosen nonce that the responder
+	// echoes verbatim, so a querier can reject stale or forged
+	// responses that do not match an in-flight request. Protocol
+	// (non-query) messages leave it zero.
+	Nonce uint64
+
+	// Avails and Knowns are the AVAIL-BATCH-RESP payload: per-subject
+	// estimates and tracking flags, aligned with View. They must have
+	// equal length (the codec enforces this).
+	Avails []float64
+	Knowns []bool
 }
 
 // Byte-size model used for bandwidth accounting. The paper charges
@@ -124,6 +148,11 @@ func (m *Message) WireSize() int {
 		return headerBytes + entryBytes
 	case MsgAvailResp:
 		return headerBytes + entryBytes + 8 // subject + float64 estimate
+	case MsgAvailBatchReq:
+		return headerBytes + entryBytes*len(m.View)
+	case MsgAvailBatchResp:
+		// Subjects plus an 8-byte estimate (and flag) per entry.
+		return headerBytes + (entryBytes+8)*len(m.View)
 	default:
 		// PING, PONG, CV-FETCH, MON-PING, MON-ACK, PR2, REPORT-REQ.
 		return headerBytes

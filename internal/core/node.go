@@ -178,13 +178,18 @@ func (n *Node) Handle(from ids.ID, m *Message, now time.Time) {
 		n.lastCoarseContact = now // the sender holds us in its CV
 		n.cv.addEvict(from, n.cfg.Rand)
 	case MsgReportReq:
-		n.send(from, &Message{Type: MsgReportResp, Seq: m.Seq, View: n.ReportMonitors(m.Count)})
+		n.send(from, &Message{
+			Type: MsgReportResp, Seq: m.Seq, Nonce: m.Nonce, View: n.ReportMonitors(m.Count),
+		})
 	case MsgAvailReq:
 		est, known := n.EstimateOf(m.Subject)
 		n.send(from, &Message{
-			Type: MsgAvailResp, Seq: m.Seq, Subject: m.Subject, Avail: est, Known: known,
+			Type: MsgAvailResp, Seq: m.Seq, Nonce: m.Nonce,
+			Subject: m.Subject, Avail: est, Known: known,
 		})
-	case MsgReportResp, MsgAvailResp:
+	case MsgAvailBatchReq:
+		n.send(from, n.answerBatch(m))
+	case MsgReportResp, MsgAvailResp, MsgAvailBatchResp:
 		// Responses to application-level queries; surfaced through
 		// the Client helper, not consumed by the protocol node.
 		if n.onResponse != nil {
@@ -193,11 +198,30 @@ func (n *Node) Handle(from ids.ID, m *Message, now time.Time) {
 	}
 }
 
-// SetResponseHandler registers a callback for REPORT-RESP and
-// AVAIL-RESP messages, which answer application-level queries rather
-// than protocol traffic (see VerifyReport for the verification step).
+// SetResponseHandler registers a callback for REPORT-RESP,
+// AVAIL-RESP, and AVAIL-BATCH-RESP messages, which answer
+// application-level queries rather than protocol traffic (see
+// VerifyReport for the verification step). The Service layer installs
+// a single correlation-keyed dispatcher here; per-query arm/disarm is
+// racy and unsupported.
 func (n *Node) SetResponseHandler(fn func(from ids.ID, m *Message)) {
 	n.onResponse = fn
+}
+
+// answerBatch builds the AVAIL-BATCH-RESP for one AVAIL-BATCH-REQ:
+// the requested subjects echoed, with this node's estimate (and
+// whether it tracks each subject) aligned per entry.
+func (n *Node) answerBatch(m *Message) *Message {
+	resp := &Message{
+		Type: MsgAvailBatchResp, Seq: m.Seq, Nonce: m.Nonce,
+		View:   append([]ids.ID(nil), m.View...),
+		Avails: make([]float64, len(m.View)),
+		Knowns: make([]bool, len(m.View)),
+	}
+	for i, subject := range m.View {
+		resp.Avails[i], resp.Knowns[i] = n.EstimateOf(subject)
+	}
+	return resp
 }
 
 // --- Join sub-protocol (Figure 1, receiver side) ---------------------

@@ -29,7 +29,8 @@ type ReportError struct {
 	// Subject is the node whose monitors were being verified.
 	Subject ids.ID
 	// Bogus lists reported monitors that fail the consistency
-	// condition (fabricated, e.g. colluders).
+	// condition (fabricated, e.g. colluders), including duplicate
+	// entries used to pad the report toward the l minimum.
 	Bogus []ids.ID
 	// Short is set when fewer than the required minimum verified.
 	Short bool
@@ -54,12 +55,21 @@ func (e *ReportError) Error() string {
 // monitors, or a *ReportError if any reported monitor is bogus or
 // fewer than minimum verify. This is the verifiability property in
 // action: a selfish node cannot advertise colluders as its monitors
-// because every third party can recompute the condition.
+// because every third party can recompute the condition. A duplicated
+// monitor is bogus too — repeating one real monitor must not count
+// toward the l minimum.
 func VerifyReport(scheme SelectionScheme, subject ids.ID, reported []ids.ID, minimum int) ([]ids.ID, error) {
 	verified := make([]ids.ID, 0, len(reported))
 	var bogus []ids.ID
-	for _, m := range reported {
-		if m == subject || m.IsNone() || !scheme.Related(m, subject) {
+	for i, m := range reported {
+		dup := false
+		for _, prev := range reported[:i] {
+			if prev == m {
+				dup = true
+				break
+			}
+		}
+		if dup || m == subject || m.IsNone() || !scheme.Related(m, subject) {
 			bogus = append(bogus, m)
 			continue
 		}
@@ -78,19 +88,33 @@ func VerifyReport(scheme SelectionScheme, subject ids.ID, reported []ids.ID, min
 }
 
 // QueryReport sends a REPORT-REQ for count monitors to the subject
-// node. The response arrives via the handler registered with
-// SetResponseHandler; the caller then runs VerifyReport on it.
-func (n *Node) QueryReport(subject ids.ID, count int) uint64 {
+// node, correlated by nonce (echoed in the REPORT-RESP). The response
+// arrives via the handler registered with SetResponseHandler; the
+// caller then runs VerifyReport on it.
+func (n *Node) QueryReport(subject ids.ID, count int, nonce uint64) uint64 {
 	seq := n.nextSeq()
-	n.send(subject, &Message{Type: MsgReportReq, Seq: seq, Count: count})
+	n.send(subject, &Message{Type: MsgReportReq, Seq: seq, Nonce: nonce, Count: count})
 	return seq
 }
 
 // QueryAvailability asks a (verified) monitor for its availability
-// estimate of subject. The AVAIL-RESP arrives via the response
-// handler.
-func (n *Node) QueryAvailability(monitor, subject ids.ID) uint64 {
+// estimate of subject, correlated by nonce. The AVAIL-RESP arrives
+// via the response handler.
+func (n *Node) QueryAvailability(monitor, subject ids.ID, nonce uint64) uint64 {
 	seq := n.nextSeq()
-	n.send(monitor, &Message{Type: MsgAvailReq, Seq: seq, Subject: subject})
+	n.send(monitor, &Message{Type: MsgAvailReq, Seq: seq, Nonce: nonce, Subject: subject})
+	return seq
+}
+
+// QueryAvailabilityBatch asks a (verified) monitor for its estimates
+// of every subject in subjects with a single AVAIL-BATCH-REQ,
+// correlated by nonce. The AVAIL-BATCH-RESP arrives via the response
+// handler with Avails/Knowns aligned to the echoed subject list.
+func (n *Node) QueryAvailabilityBatch(monitor ids.ID, subjects []ids.ID, nonce uint64) uint64 {
+	seq := n.nextSeq()
+	n.send(monitor, &Message{
+		Type: MsgAvailBatchReq, Seq: seq, Nonce: nonce,
+		View: append([]ids.ID(nil), subjects...),
+	})
 	return seq
 }

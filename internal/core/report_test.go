@@ -129,15 +129,20 @@ func TestReportRequestRoundTrip(t *testing.T) {
 		subject.Handle(peer, &Message{Type: MsgNotify, U: peer, V: subject.ID()}, fn.now)
 	}
 	var gotReport []ids.ID
+	var gotNonce uint64
 	asker.SetResponseHandler(func(from ids.ID, m *Message) {
 		if m.Type == MsgReportResp && from == subject.ID() {
 			gotReport = m.View
+			gotNonce = m.Nonce
 		}
 	})
-	asker.QueryReport(subject.ID(), 2)
+	asker.QueryReport(subject.ID(), 2, 0xDEADBEEF)
 	fn.flush()
 	if len(gotReport) != 2 {
 		t.Fatalf("received report of %d monitors, want 2", len(gotReport))
+	}
+	if gotNonce != 0xDEADBEEF {
+		t.Errorf("REPORT-RESP nonce = %#x, want the request nonce echoed", gotNonce)
 	}
 	if _, err := VerifyReport(allRelated{}, subject.ID(), gotReport, 2); err != nil {
 		t.Errorf("round-trip report failed verification: %v", err)
@@ -160,7 +165,7 @@ func TestAvailabilityQueryRoundTrip(t *testing.T) {
 			resp = m
 		}
 	})
-	asker.QueryAvailability(mon.ID(), tgt.ID())
+	asker.QueryAvailability(mon.ID(), tgt.ID(), 42)
 	fn.flush()
 	if resp == nil {
 		t.Fatal("no AVAIL-RESP received")
@@ -168,11 +173,69 @@ func TestAvailabilityQueryRoundTrip(t *testing.T) {
 	if !resp.Known || resp.Avail != 1 || resp.Subject != tgt.ID() {
 		t.Errorf("resp = %+v, want known estimate 1.0 for target", resp)
 	}
+	if resp.Nonce != 42 {
+		t.Errorf("AVAIL-RESP nonce = %d, want the request nonce echoed", resp.Nonce)
+	}
 	// Query about an unmonitored node.
 	resp = nil
-	asker.QueryAvailability(mon.ID(), ids.Sim(77))
+	asker.QueryAvailability(mon.ID(), ids.Sim(77), 43)
 	fn.flush()
 	if resp == nil || resp.Known {
 		t.Errorf("unmonitored query resp = %+v, want Known=false", resp)
+	}
+}
+
+func TestAvailabilityBatchQueryRoundTrip(t *testing.T) {
+	fn := newFakeNet(t)
+	mon := fn.addNode(1, allRelated{}, nil)
+	tracked := fn.addNode(2, allRelated{}, nil)
+	asker := fn.addNode(3, allRelated{}, nil)
+	for _, n := range []*Node{mon, tracked, asker} {
+		n.Join(fn.now, ids.None)
+	}
+	mon.Handle(tracked.ID(), &Message{Type: MsgNotify, U: mon.ID(), V: tracked.ID()}, fn.now)
+	fn.advance(4, DefaultMonitorPeriod)
+	var resp *Message
+	asker.SetResponseHandler(func(from ids.ID, m *Message) {
+		if m.Type == MsgAvailBatchResp {
+			resp = m
+		}
+	})
+	subjects := []ids.ID{tracked.ID(), ids.Sim(77)}
+	asker.QueryAvailabilityBatch(mon.ID(), subjects, 7)
+	fn.flush()
+	if resp == nil {
+		t.Fatal("no AVAIL-BATCH-RESP received")
+	}
+	if resp.Nonce != 7 {
+		t.Errorf("batch resp nonce = %d, want 7", resp.Nonce)
+	}
+	if len(resp.View) != 2 || len(resp.Avails) != 2 || len(resp.Knowns) != 2 {
+		t.Fatalf("batch resp shape = %d/%d/%d entries, want 2/2/2",
+			len(resp.View), len(resp.Avails), len(resp.Knowns))
+	}
+	if resp.View[0] != tracked.ID() || !resp.Knowns[0] || resp.Avails[0] != 1 {
+		t.Errorf("tracked entry = (%v, %v, %v), want known estimate 1.0",
+			resp.View[0], resp.Avails[0], resp.Knowns[0])
+	}
+	if resp.Knowns[1] {
+		t.Error("untracked subject reported as known")
+	}
+}
+
+func TestVerifyReportRejectsDuplicates(t *testing.T) {
+	subject := ids.Sim(1)
+	honest := ids.Sim(2)
+	// A selfish subject repeats one real monitor to fake l=3 coverage.
+	verified, err := VerifyReport(allRelated{}, subject, []ids.ID{honest, honest, honest}, 3)
+	var re *ReportError
+	if !errors.As(err, &re) {
+		t.Fatalf("duplicate-padded report accepted (err=%v)", err)
+	}
+	if len(verified) != 1 || verified[0] != honest {
+		t.Errorf("verified = %v, want the single honest monitor", verified)
+	}
+	if len(re.Bogus) != 2 {
+		t.Errorf("Bogus = %v, want the two duplicate entries", re.Bogus)
 	}
 }

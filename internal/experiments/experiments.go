@@ -174,6 +174,7 @@ func Registry() map[string]Runner {
 		"wan":      Wan,
 		"skew":     Skew,
 		"chaos":    Chaos,
+		"query":    Query,
 		"figure3":  Figure3,
 		"figure4":  Figure4,
 		"figure5":  Figure5,

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestQueryGatesAndArtifact runs the query load test at smoke scale and
+// checks the properties the experiment is built around: every (arm,
+// batch) regime resolves the identical workload to the identical
+// answers, the cache-on arm actually hits its cache, and the artifact
+// round-trips as JSON with one point per regime.
+func TestQueryGatesAndArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	o := Options{Scale: 0.001, Seed: 11, Ns: []int{60}, Parallelism: 2}
+	res, err := Query(o)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	raw, ok := res.Artifacts[QueryArtifactName]
+	if !ok {
+		t.Fatalf("no %s artifact", QueryArtifactName)
+	}
+	var art queryArtifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	wantPoints := 2 * len(queryBatchSizes)
+	if len(art.Points) != wantPoints {
+		t.Fatalf("artifact has %d points, want %d", len(art.Points), wantPoints)
+	}
+	fp := art.Points[0].Fingerprint
+	if fp == "" {
+		t.Fatal("empty answer fingerprint")
+	}
+	var sawCacheOn bool
+	for _, pt := range art.Points {
+		if pt.Fingerprint != fp {
+			t.Errorf("%s/batch=%d fingerprint %s differs from %s", pt.Arm, pt.Batch, pt.Fingerprint, fp)
+		}
+		if pt.Queries < queryMinCount {
+			t.Errorf("%s/batch=%d ran %d queries, floor is %d", pt.Arm, pt.Batch, pt.Queries, queryMinCount)
+		}
+		switch pt.Arm {
+		case "cache-off":
+			if pt.CacheHitRate != 0 {
+				t.Errorf("cache-off regime reports hit rate %v", pt.CacheHitRate)
+			}
+		case "cache-on":
+			sawCacheOn = true
+			// 20k queries over ≤ 60 subjects: after the cold pass
+			// virtually everything hits.
+			if pt.CacheHitRate < 0.9 {
+				t.Errorf("cache-on batch=%d hit rate %v, want > 0.9", pt.Batch, pt.CacheHitRate)
+			}
+		default:
+			t.Errorf("unknown arm %q", pt.Arm)
+		}
+	}
+	if !sawCacheOn {
+		t.Error("no cache-on points in artifact")
+	}
+	if art.Proto.Events == 0 || art.Proto.MonPings == 0 {
+		t.Errorf("warm-up produced no protocol activity: %+v", art.Proto)
+	}
+}
+
+// TestQueryRejectsTinyN guards the population floor.
+func TestQueryRejectsTinyN(t *testing.T) {
+	if _, err := Query(Options{Scale: 0.001, Ns: []int{5}}); err == nil {
+		t.Fatal("N=5 accepted")
+	}
+}

@@ -25,7 +25,7 @@ const MaxViewEntries = 4096
 // types. Encode and Decode both enforce it, so the codec stays
 // symmetric when a new type is added.
 func validWireType(t core.MsgType) bool {
-	return t >= core.MsgJoin && t <= core.MsgAvailResp
+	return t >= core.MsgJoin && t <= core.MsgAvailBatchResp
 }
 
 // fixed layout:
@@ -38,12 +38,19 @@ func validWireType(t core.MsgType) bool {
 //	19     6    v
 //	25     4    weight (int32, big-endian)
 //	29     8    seq
-//	37     4    count (int32)
-//	41     8    avail (float64 bits)
-//	49     1    known
-//	50     2    len(view)
-//	52     6×n  view entries
-const fixedLen = 52
+//	37     8    nonce (query correlation)
+//	45     4    count (int32)
+//	49     8    avail (float64 bits)
+//	57     1    known
+//	58     2    len(view)
+//	60     2    len(ests)
+//	62     6×n  view entries
+//	…      9×m  est entries (8-byte avail bits + 1-byte known)
+const fixedLen = 62
+
+// estWireLen is the per-entry size of the AVAIL-BATCH-RESP estimate
+// payload: float64 bits plus a strict 0/1 known flag.
+const estWireLen = 9
 
 // Encode serializes m. Only the defined message types are encodable;
 // the codec is strict in both directions so Encode∘Decode is the
@@ -55,11 +62,17 @@ func Encode(m *core.Message) ([]byte, error) {
 	if len(m.View) > MaxViewEntries {
 		return nil, fmt.Errorf("%w: view too large (%d entries)", ErrCodec, len(m.View))
 	}
+	if len(m.Avails) != len(m.Knowns) {
+		return nil, fmt.Errorf("%w: %d avails vs %d knowns", ErrCodec, len(m.Avails), len(m.Knowns))
+	}
+	if len(m.Avails) > MaxViewEntries {
+		return nil, fmt.Errorf("%w: estimate payload too large (%d entries)", ErrCodec, len(m.Avails))
+	}
 	if m.Weight > math.MaxInt32 || m.Weight < math.MinInt32 ||
 		m.Count > math.MaxInt32 || m.Count < math.MinInt32 {
 		return nil, fmt.Errorf("%w: field overflow", ErrCodec)
 	}
-	buf := make([]byte, 0, fixedLen+ids.WireLen*len(m.View))
+	buf := make([]byte, 0, fixedLen+ids.WireLen*len(m.View)+estWireLen*len(m.Avails))
 	buf = append(buf, byte(m.Type))
 	buf = m.From.AppendWire(buf)
 	buf = m.Subject.AppendWire(buf)
@@ -67,6 +80,7 @@ func Encode(m *core.Message) ([]byte, error) {
 	buf = m.V.AppendWire(buf)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.Weight)))
 	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, m.Nonce)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.Count)))
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Avail))
 	known := byte(0)
@@ -75,8 +89,17 @@ func Encode(m *core.Message) ([]byte, error) {
 	}
 	buf = append(buf, known)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.View)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Avails)))
 	for _, id := range m.View {
 		buf = id.AppendWire(buf)
+	}
+	for i, av := range m.Avails {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(av))
+		k := byte(0)
+		if m.Knowns[i] {
+			k = 1
+		}
+		buf = append(buf, k)
 	}
 	return buf, nil
 }
@@ -105,9 +128,10 @@ func Decode(buf []byte) (*core.Message, error) {
 	}
 	m.Weight = int(int32(binary.BigEndian.Uint32(buf[25:])))
 	m.Seq = binary.BigEndian.Uint64(buf[29:])
-	m.Count = int(int32(binary.BigEndian.Uint32(buf[37:])))
-	m.Avail = math.Float64frombits(binary.BigEndian.Uint64(buf[41:]))
-	switch buf[49] {
+	m.Nonce = binary.BigEndian.Uint64(buf[37:])
+	m.Count = int(int32(binary.BigEndian.Uint32(buf[45:])))
+	m.Avail = math.Float64frombits(binary.BigEndian.Uint64(buf[49:]))
+	switch buf[57] {
 	case 0:
 		m.Known = false
 	case 1:
@@ -116,14 +140,19 @@ func Decode(buf []byte) (*core.Message, error) {
 		// Strict parse: a forged flag byte must not silently
 		// normalize (fuzz-found; Decode is the deployment's attack
 		// surface and accepts only Encode's canonical form).
-		return nil, fmt.Errorf("%w: bad known flag %d", ErrCodec, buf[49])
+		return nil, fmt.Errorf("%w: bad known flag %d", ErrCodec, buf[57])
 	}
-	viewLen := int(binary.BigEndian.Uint16(buf[50:]))
+	viewLen := int(binary.BigEndian.Uint16(buf[58:]))
 	if viewLen > MaxViewEntries {
 		return nil, fmt.Errorf("%w: view too large (%d entries)", ErrCodec, viewLen)
 	}
-	if len(buf) != fixedLen+ids.WireLen*viewLen {
-		return nil, fmt.Errorf("%w: length %d does not match view count %d", ErrCodec, len(buf), viewLen)
+	estLen := int(binary.BigEndian.Uint16(buf[60:]))
+	if estLen > MaxViewEntries {
+		return nil, fmt.Errorf("%w: estimate payload too large (%d entries)", ErrCodec, estLen)
+	}
+	if len(buf) != fixedLen+ids.WireLen*viewLen+estWireLen*estLen {
+		return nil, fmt.Errorf("%w: length %d does not match view count %d + est count %d",
+			ErrCodec, len(buf), viewLen, estLen)
 	}
 	if viewLen > 0 {
 		m.View = make([]ids.ID, viewLen)
@@ -131,6 +160,23 @@ func Decode(buf []byte) (*core.Message, error) {
 			m.View[i], err = ids.FromWire(buf[fixedLen+i*ids.WireLen:])
 			if err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+			}
+		}
+	}
+	if estLen > 0 {
+		m.Avails = make([]float64, estLen)
+		m.Knowns = make([]bool, estLen)
+		base := fixedLen + ids.WireLen*viewLen
+		for i := 0; i < estLen; i++ {
+			off := base + i*estWireLen
+			m.Avails[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+			switch buf[off+8] {
+			case 0:
+				m.Knowns[i] = false
+			case 1:
+				m.Knowns[i] = true
+			default:
+				return nil, fmt.Errorf("%w: bad known flag %d in estimate %d", ErrCodec, buf[off+8], i)
 			}
 		}
 	}

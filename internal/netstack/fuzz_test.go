@@ -28,11 +28,15 @@ func fuzzSeedMessages() []*core.Message {
 		{Type: core.MsgMonPing, From: a, Seq: 9},
 		{Type: core.MsgMonAck, From: b, Seq: 9},
 		{Type: core.MsgPR2, From: c},
-		{Type: core.MsgReportReq, From: a, Seq: 5, Count: 3},
-		{Type: core.MsgReportResp, From: b, Seq: 5, View: view[:2]},
-		{Type: core.MsgAvailReq, From: a, Subject: c, Seq: 6},
-		{Type: core.MsgAvailResp, From: b, Subject: c, Seq: 6, Avail: 0.875, Known: true},
+		{Type: core.MsgReportReq, From: a, Seq: 5, Nonce: 0x1122334455667788, Count: 3},
+		{Type: core.MsgReportResp, From: b, Seq: 5, Nonce: 0x1122334455667788, View: view[:2]},
+		{Type: core.MsgAvailReq, From: a, Subject: c, Seq: 6, Nonce: 9},
+		{Type: core.MsgAvailResp, From: b, Subject: c, Seq: 6, Nonce: 9, Avail: 0.875, Known: true},
 		{Type: core.MsgAvailResp, From: b, Subject: c, Seq: 7, Avail: 0, Known: false},
+		{Type: core.MsgAvailBatchReq, From: a, Seq: 8, Nonce: 10, View: view},
+		{Type: core.MsgAvailBatchResp, From: b, Seq: 8, Nonce: 10, View: view,
+			Avails: []float64{1, 0.5, 0}, Knowns: []bool{true, true, false}},
+		{Type: core.MsgAvailBatchResp, From: b, Seq: 9, Nonce: 11}, // empty batch
 	}
 }
 
@@ -49,13 +53,17 @@ func FuzzDecode(f *testing.F) {
 		}
 		f.Add(buf)
 	}
-	// Adversarial seeds: truncations, a view-length lie, junk.
+	// Adversarial seeds: truncations, view- and estimate-length lies,
+	// junk.
 	f.Add([]byte{})
 	f.Add([]byte{0xFF})
 	f.Add(bytes.Repeat([]byte{0xAA}, fixedLen-1))
 	lie := make([]byte, fixedLen)
-	lie[50], lie[51] = 0xFF, 0xFF // claims 65535 view entries, carries none
+	lie[58], lie[59] = 0xFF, 0xFF // claims 65535 view entries, carries none
 	f.Add(lie)
+	estLie := make([]byte, fixedLen)
+	estLie[60], estLie[61] = 0xFF, 0xFF // claims 65535 estimates, carries none
+	f.Add(estLie)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)

@@ -31,6 +31,19 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		}},
 		{"negative weight", core.Message{Type: core.MsgJoin, From: ids.Sim(1), Weight: -3}},
 		{"empty view resp", core.Message{Type: core.MsgCVResp, From: ids.Sim(1)}},
+		{"nonced report req", core.Message{
+			Type: core.MsgReportReq, From: ids.Sim(2), Seq: 12, Nonce: 0xABCDEF0123456789, Count: 4,
+		}},
+		{"batch req", core.Message{
+			Type: core.MsgAvailBatchReq, From: ids.Sim(3), Seq: 13, Nonce: 99,
+			View: []ids.ID{ids.Sim(4), ids.Sim(5), ids.Sim(6)},
+		}},
+		{"batch resp", core.Message{
+			Type: core.MsgAvailBatchResp, From: ids.Sim(4), Seq: 13, Nonce: 99,
+			View:   []ids.ID{ids.Sim(4), ids.Sim(5)},
+			Avails: []float64{0.25, 0},
+			Knowns: []bool{true, false},
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -44,7 +57,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			}
 			if got.Type != tt.msg.Type || got.From != tt.msg.From ||
 				got.Subject != tt.msg.Subject || got.U != tt.msg.U || got.V != tt.msg.V ||
-				got.Weight != tt.msg.Weight || got.Seq != tt.msg.Seq ||
+				got.Weight != tt.msg.Weight || got.Seq != tt.msg.Seq || got.Nonce != tt.msg.Nonce ||
 				got.Count != tt.msg.Count || got.Avail != tt.msg.Avail || got.Known != tt.msg.Known {
 				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tt.msg)
 			}
@@ -56,24 +69,39 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 					t.Errorf("view[%d] = %v, want %v", i, got.View[i], tt.msg.View[i])
 				}
 			}
+			if len(got.Avails) != len(tt.msg.Avails) || len(got.Knowns) != len(tt.msg.Knowns) {
+				t.Fatalf("estimate payload %d/%d vs %d/%d",
+					len(got.Avails), len(got.Knowns), len(tt.msg.Avails), len(tt.msg.Knowns))
+			}
+			for i := range got.Avails {
+				if got.Avails[i] != tt.msg.Avails[i] || got.Knowns[i] != tt.msg.Knowns[i] {
+					t.Errorf("est[%d] = (%v, %v), want (%v, %v)",
+						i, got.Avails[i], got.Knowns[i], tt.msg.Avails[i], tt.msg.Knowns[i])
+				}
+			}
 		})
 	}
 }
 
 func TestEncodeDecodeProperty(t *testing.T) {
-	f := func(typ uint8, fromIdx, subjIdx uint16, weight int32, seq uint64, avail float64, viewN uint8) bool {
+	f := func(typ uint8, fromIdx, subjIdx uint16, weight int32, seq, nonce uint64, avail float64, viewN, estN uint8) bool {
 		m := &core.Message{
 			// The codec is strict about types: draw from the defined
-			// range (MsgJoin = 1 .. MsgAvailResp).
-			Type:    core.MsgType(typ%uint8(core.MsgAvailResp) + 1),
+			// range (MsgJoin = 1 .. MsgAvailBatchResp).
+			Type:    core.MsgType(typ%uint8(core.MsgAvailBatchResp) + 1),
 			From:    ids.Sim(int(fromIdx)),
 			Subject: ids.Sim(int(subjIdx)),
 			Weight:  int(weight),
 			Seq:     seq,
+			Nonce:   nonce,
 			Avail:   avail,
 		}
 		for i := 0; i < int(viewN%32); i++ {
 			m.View = append(m.View, ids.Sim(i))
+		}
+		for i := 0; i < int(estN%8); i++ {
+			m.Avails = append(m.Avails, avail*float64(i))
+			m.Knowns = append(m.Knowns, i%2 == 0)
 		}
 		buf, err := Encode(m)
 		if err != nil {
@@ -83,7 +111,8 @@ func TestEncodeDecodeProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if got.Weight != m.Weight || got.Seq != m.Seq || len(got.View) != len(m.View) {
+		if got.Weight != m.Weight || got.Seq != m.Seq || got.Nonce != m.Nonce ||
+			len(got.View) != len(m.View) || len(got.Avails) != len(m.Avails) {
 			return false
 		}
 		// NaN never compares equal; compare bit patterns via re-encode.
@@ -121,8 +150,33 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		{"oversized view count", func() []byte {
 			m := &core.Message{Type: core.MsgCVResp, From: ids.Sim(1)}
 			b, _ := Encode(m)
-			b[50] = 0xFF
-			b[51] = 0xFF
+			b[58] = 0xFF
+			b[59] = 0xFF
+			return b
+		}()},
+		{"oversized est count", func() []byte {
+			m := &core.Message{Type: core.MsgAvailBatchResp, From: ids.Sim(1)}
+			b, _ := Encode(m)
+			b[60] = 0xFF
+			b[61] = 0xFF
+			return b
+		}()},
+		{"truncated est payload", func() []byte {
+			m := &core.Message{
+				Type: core.MsgAvailBatchResp, From: ids.Sim(1),
+				View:   []ids.ID{ids.Sim(2)},
+				Avails: []float64{0.5}, Knowns: []bool{true},
+			}
+			b, _ := Encode(m)
+			return b[:len(b)-3]
+		}()},
+		{"bad est known flag", func() []byte {
+			m := &core.Message{
+				Type: core.MsgAvailBatchResp, From: ids.Sim(1),
+				Avails: []float64{0.5}, Knowns: []bool{true},
+			}
+			b, _ := Encode(m)
+			b[len(b)-1] = 2
 			return b
 		}()},
 	}
@@ -139,6 +193,25 @@ func TestEncodeRejectsOversizedView(t *testing.T) {
 	m := &core.Message{Type: core.MsgCVResp, View: make([]ids.ID, MaxViewEntries+1)}
 	if _, err := Encode(m); !errors.Is(err, ErrCodec) {
 		t.Errorf("Encode error = %v, want ErrCodec", err)
+	}
+}
+
+func TestEncodeRejectsMisalignedEstimates(t *testing.T) {
+	m := &core.Message{
+		Type:   core.MsgAvailBatchResp,
+		Avails: []float64{0.5, 0.25},
+		Knowns: []bool{true},
+	}
+	if _, err := Encode(m); !errors.Is(err, ErrCodec) {
+		t.Errorf("Encode error = %v, want ErrCodec for avails/knowns mismatch", err)
+	}
+	m = &core.Message{
+		Type:   core.MsgAvailBatchResp,
+		Avails: make([]float64, MaxViewEntries+1),
+		Knowns: make([]bool, MaxViewEntries+1),
+	}
+	if _, err := Encode(m); !errors.Is(err, ErrCodec) {
+		t.Errorf("Encode error = %v, want ErrCodec for oversized estimate payload", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package avmon
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"avmon/internal/core"
@@ -28,25 +29,190 @@ type AvailabilityReport struct {
 	Mean float64
 }
 
+// BatchAnswer is one per-subject result of QueryBatch. Exactly one of
+// Report and Err is set.
+type BatchAnswer struct {
+	// Subject is the queried node.
+	Subject ID
+	// Report is the verified availability report, nil on failure.
+	Report *AvailabilityReport
+	// Err explains a failed lookup (timeout, rejected monitor report,
+	// or no verified monitor answering).
+	Err error
+}
+
+// respKey correlates a response to its outstanding query: the answering
+// peer, the expected response type, and the caller-chosen nonce echoed
+// by the responder.
+type respKey struct {
+	peer  ID
+	typ   core.MsgType
+	nonce uint64
+}
+
+// respDispatcher routes incoming response messages to the query that
+// asked for them. It is installed once as the node's response handler
+// and replaces the old arm/disarm one-shot hook, which could serve only
+// a single in-flight query and silently dropped answers when two
+// queries raced. Any number of queries may now wait concurrently, each
+// on its own correlation key.
+type respDispatcher struct {
+	mu      sync.Mutex
+	waiters map[respKey]chan *core.Message
+	// stale counts responses that matched no waiter: late answers
+	// after a timeout, or forged/replayed datagrams whose nonce does
+	// not correlate with any outstanding query.
+	stale uint64
+}
+
+func newRespDispatcher() *respDispatcher {
+	return &respDispatcher{waiters: make(map[respKey]chan *core.Message)}
+}
+
+// subscribe registers a one-shot waiter for key and returns the channel
+// its response will be delivered on. The caller must cancel(key) when
+// done (delivery also unregisters, so cancel after delivery is a no-op).
+func (d *respDispatcher) subscribe(key respKey) chan *core.Message {
+	ch := make(chan *core.Message, 1)
+	d.mu.Lock()
+	d.waiters[key] = ch
+	d.mu.Unlock()
+	return ch
+}
+
+// cancel unregisters the waiter for key, if still present.
+func (d *respDispatcher) cancel(key respKey) {
+	d.mu.Lock()
+	delete(d.waiters, key)
+	d.mu.Unlock()
+}
+
+// dispatch is the node's response handler: it matches a response to the
+// waiter keyed by (sender, type, nonce) and delivers it. Responses with
+// no matching waiter — stale answers arriving after their query timed
+// out, or replays with a non-matching nonce — are counted and dropped,
+// never delivered to a different query.
+func (d *respDispatcher) dispatch(from ID, m *core.Message) {
+	key := respKey{peer: from, typ: m.Type, nonce: m.Nonce}
+	d.mu.Lock()
+	ch, ok := d.waiters[key]
+	if ok {
+		delete(d.waiters, key)
+	} else {
+		d.stale++
+	}
+	d.mu.Unlock()
+	if ok {
+		ch <- m // buffered, exactly one send per subscription
+	}
+}
+
+// staleCount returns how many uncorrelated responses were dropped.
+func (d *respDispatcher) staleCount() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stale
+}
+
+// pending returns the number of outstanding waiters (for tests).
+func (d *respDispatcher) pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.waiters)
+}
+
+// queryTimer bounds one query's sequence of network waits with a single
+// reused time.Timer instead of a fresh time.After channel per wait
+// (which would pin memory until each abandoned timer fired).
+type queryTimer struct {
+	deadline time.Time
+	timer    *time.Timer // lazily created, stopped+drained between waits
+}
+
+func newQueryTimer(deadline time.Time) *queryTimer {
+	return &queryTimer{deadline: deadline}
+}
+
+// wait blocks until a message arrives on ch or the deadline passes. An
+// already-expired deadline takes a fast path that never arms the timer:
+// it still drains an answer that has already been delivered, otherwise
+// fails immediately.
+func (t *queryTimer) wait(ch <-chan *core.Message) (*core.Message, error) {
+	d := time.Until(t.deadline)
+	if d <= 0 {
+		select {
+		case m := <-ch:
+			return m, nil
+		default:
+			return nil, ErrQueryTimeout
+		}
+	}
+	if t.timer == nil {
+		t.timer = time.NewTimer(d)
+	} else {
+		t.timer.Reset(d)
+	}
+	select {
+	case m := <-ch:
+		// Stop for reuse; if the timer fired concurrently, drain the
+		// tick so the next wait's select doesn't see a phantom expiry.
+		if !t.timer.Stop() {
+			<-t.timer.C
+		}
+		return m, nil
+	case <-t.timer.C:
+		return nil, ErrQueryTimeout
+	}
+}
+
+// stop releases the underlying timer.
+func (t *queryTimer) stop() {
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
 // QueryAvailability performs the end-to-end availability lookup
 // against a remote node: it requests l monitors from subject, verifies
 // the report (rejecting fabricated monitors), queries each verified
 // monitor for its estimate of subject, and aggregates the answers.
 // It blocks up to timeout.
+//
+// Concurrent calls are fully supported: every in-flight query waits on
+// its own correlation key (peer, response type, nonce), so answers are
+// never delivered to the wrong caller. With the answer cache enabled
+// (ServiceConfig.QueryCache), a fresh cached report is returned without
+// touching the network.
 func (s *Service) QueryAvailability(subject ID, l int, timeout time.Duration) (*AvailabilityReport, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	deadline := time.Now().Add(timeout)
-
-	reported, err := s.fetchReport(subject, l, deadline)
+	now := time.Now()
+	if s.answers != nil {
+		if r, ok := s.answers.Get(subject, now); ok {
+			return r, nil
+		}
+	}
+	qt := newQueryTimer(now.Add(timeout))
+	defer qt.stop()
+	report, err := s.queryOne(subject, l, qt)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	scheme := s.node.Config().Scheme
-	s.mu.Unlock()
-	verified, err := core.VerifyReport(scheme, subject, reported, minNonZero(l, len(reported)))
+	if s.answers != nil {
+		s.answers.Put(report, time.Now())
+	}
+	return report, nil
+}
+
+// queryOne runs the fetch-report / verify / fetch-estimates flow for a
+// single subject under one query timer.
+func (s *Service) queryOne(subject ID, l int, qt *queryTimer) (*AvailabilityReport, error) {
+	reported, err := s.fetchReport(subject, l, qt)
+	if err != nil {
+		return nil, err
+	}
+	verified, err := core.VerifyReport(s.scheme(), subject, reported, minNonZero(l, len(reported)))
 	if err != nil {
 		return nil, fmt.Errorf("avmon: monitor report for %v rejected: %w", subject, err)
 	}
@@ -54,7 +220,7 @@ func (s *Service) QueryAvailability(subject ID, l int, timeout time.Duration) (*
 	report := &AvailabilityReport{Subject: subject}
 	var sum float64
 	for _, mon := range verified {
-		est, err := s.fetchEstimate(mon, subject, deadline)
+		est, err := s.fetchEstimate(mon, subject, qt)
 		if err != nil {
 			continue // unreachable or non-tracking monitors are skipped
 		}
@@ -76,60 +242,206 @@ func minNonZero(l, n int) int {
 	return l
 }
 
-// fetchReport asks subject for count monitors and waits for the reply.
-func (s *Service) fetchReport(subject ID, count int, deadline time.Time) ([]ID, error) {
-	ch := make(chan *core.Message, 1)
-	s.armResponse(subject, core.MsgReportResp, ch)
-	defer s.disarmResponse()
+// scheme returns the node's selection scheme (safe to use without the
+// lock afterwards: selectors are stateless).
+func (s *Service) scheme() core.SelectionScheme {
 	s.mu.Lock()
-	s.node.QueryReport(subject, count)
+	defer s.mu.Unlock()
+	return s.node.Config().Scheme
+}
+
+// fetchReport asks subject for count monitors and waits for the reply.
+func (s *Service) fetchReport(subject ID, count int, qt *queryTimer) ([]ID, error) {
+	nonce := s.nextNonce()
+	key := respKey{peer: subject, typ: core.MsgReportResp, nonce: nonce}
+	ch := s.disp.subscribe(key)
+	defer s.disp.cancel(key)
+	s.mu.Lock()
+	s.node.QueryReport(subject, count, nonce)
 	s.mu.Unlock()
-	select {
-	case m := <-ch:
-		return m.View, nil
-	case <-time.After(time.Until(deadline)):
-		return nil, fmt.Errorf("avmon: monitor report from %v: %w", subject, ErrQueryTimeout)
+	m, err := qt.wait(ch)
+	if err != nil {
+		return nil, fmt.Errorf("avmon: monitor report from %v: %w", subject, err)
 	}
+	return m.View, nil
 }
 
 // fetchEstimate asks one monitor for its estimate of subject.
-func (s *Service) fetchEstimate(monitor, subject ID, deadline time.Time) (float64, error) {
-	ch := make(chan *core.Message, 1)
-	s.armResponse(monitor, core.MsgAvailResp, ch)
-	defer s.disarmResponse()
+func (s *Service) fetchEstimate(monitor, subject ID, qt *queryTimer) (float64, error) {
+	nonce := s.nextNonce()
+	key := respKey{peer: monitor, typ: core.MsgAvailResp, nonce: nonce}
+	ch := s.disp.subscribe(key)
+	defer s.disp.cancel(key)
 	s.mu.Lock()
-	s.node.QueryAvailability(monitor, subject)
+	s.node.QueryAvailability(monitor, subject, nonce)
 	s.mu.Unlock()
-	select {
-	case m := <-ch:
-		if !m.Known {
-			return 0, fmt.Errorf("avmon: %v does not track %v", monitor, subject)
-		}
-		return m.Avail, nil
-	case <-time.After(time.Until(deadline)):
-		return 0, fmt.Errorf("avmon: estimate from %v: %w", monitor, ErrQueryTimeout)
+	m, err := qt.wait(ch)
+	if err != nil {
+		return 0, fmt.Errorf("avmon: estimate from %v: %w", monitor, err)
 	}
+	if !m.Known {
+		return 0, fmt.Errorf("avmon: %v does not track %v", monitor, subject)
+	}
+	return m.Avail, nil
 }
 
-// armResponse points the node's response hook at a one-shot channel
-// filtered by sender and message type. Queries are serialized by
-// construction (each arms, sends, waits, disarms).
-func (s *Service) armResponse(from ID, msgType core.MsgType, ch chan *core.Message) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.node.SetResponseHandler(func(sender ID, m *core.Message) {
-		if sender != from || m.Type != msgType {
-			return
+// QueryBatch resolves many subjects in one sweep, amortizing socket
+// round-trips: per-subject monitor reports are fetched and verified
+// concurrently, then each distinct monitor is asked once — with a
+// single AVAIL-BATCH-REQ covering every subject it vouches for —
+// instead of one AVAIL-REQ per (monitor, subject) pair. Results are
+// returned in subject order; cached answers (when the cache is
+// enabled) are served without network traffic. Failed subjects carry
+// a per-subject error rather than failing the whole batch.
+//
+// timeout bounds each of the two network phases (report fetch, batched
+// estimate fetch) separately — the call blocks at most about twice
+// that — so an unreachable subject exhausting phase one cannot starve
+// live subjects of their estimate phase.
+func (s *Service) QueryBatch(subjects []ID, l int, timeout time.Duration) []BatchAnswer {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	now := time.Now()
+	answers := make([]BatchAnswer, len(subjects))
+	var misses []int
+	for i, subject := range subjects {
+		answers[i].Subject = subject
+		if s.answers != nil {
+			if r, ok := s.answers.Get(subject, now); ok {
+				answers[i].Report = r
+				continue
+			}
 		}
-		select {
-		case ch <- m:
-		default:
+		misses = append(misses, i)
+	}
+	if len(misses) == 0 {
+		return answers
+	}
+	scheme := s.scheme()
+
+	// Stage 1: fetch and verify each missing subject's monitor report
+	// concurrently. verifiedBy[i] holds subject i's verified monitors.
+	verifiedBy := make(map[int][]ID, len(misses))
+	var vmu sync.Mutex
+	var wg sync.WaitGroup
+	for _, i := range misses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qt := newQueryTimer(now.Add(timeout))
+			defer qt.stop()
+			subject := subjects[i]
+			reported, err := s.fetchReport(subject, l, qt)
+			if err != nil {
+				answers[i].Err = err
+				return
+			}
+			verified, err := core.VerifyReport(scheme, subject, reported, minNonZero(l, len(reported)))
+			if err != nil {
+				answers[i].Err = fmt.Errorf("avmon: monitor report for %v rejected: %w", subject, err)
+				return
+			}
+			vmu.Lock()
+			verifiedBy[i] = verified
+			vmu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	// Stage 2: invert to monitor → subjects and issue one batched
+	// availability request per distinct monitor.
+	bySubject := make(map[int]map[ID]float64, len(verifiedBy)) // subject idx → monitor → estimate
+	perMonitor := make(map[ID][]int)
+	for i, mons := range verifiedBy {
+		bySubject[i] = make(map[ID]float64, len(mons))
+		for _, mon := range mons {
+			perMonitor[mon] = append(perMonitor[mon], i)
 		}
-	})
+	}
+	// The estimate phase gets its own deadline: the slowest stage-1
+	// subject (e.g. an unreachable one timing out) must not leave live
+	// subjects with an already-expired window here.
+	estDeadline := time.Now().Add(timeout)
+	var emu sync.Mutex
+	for mon, idxs := range perMonitor {
+		wg.Add(1)
+		go func(mon ID, idxs []int) {
+			defer wg.Done()
+			qt := newQueryTimer(estDeadline)
+			defer qt.stop()
+			batch := make([]ID, len(idxs))
+			for j, i := range idxs {
+				batch[j] = subjects[i]
+			}
+			ests, knowns, err := s.fetchBatchEstimates(mon, batch, qt)
+			if err != nil {
+				return // this monitor contributes nothing
+			}
+			emu.Lock()
+			for j, i := range idxs {
+				if knowns[j] {
+					bySubject[i][mon] = ests[j]
+				}
+			}
+			emu.Unlock()
+		}(mon, idxs)
+	}
+	wg.Wait()
+
+	// Stage 3: assemble per-subject reports, preserving each subject's
+	// verified-monitor order for determinism.
+	fill := time.Now()
+	for i, mons := range verifiedBy {
+		report := &AvailabilityReport{Subject: subjects[i]}
+		var sum float64
+		for _, mon := range mons {
+			est, ok := bySubject[i][mon]
+			if !ok {
+				continue
+			}
+			report.Monitors = append(report.Monitors, mon)
+			report.Estimates = append(report.Estimates, est)
+			sum += est
+		}
+		if len(report.Monitors) == 0 {
+			answers[i].Err = fmt.Errorf("avmon: no verified monitor of %v answered: %w",
+				subjects[i], ErrQueryTimeout)
+			continue
+		}
+		report.Mean = sum / float64(len(report.Monitors))
+		answers[i].Report = report
+		if s.answers != nil {
+			s.answers.Put(report, fill)
+		}
+	}
+	return answers
 }
 
-func (s *Service) disarmResponse() {
+// fetchBatchEstimates sends one AVAIL-BATCH-REQ for all subjects to a
+// monitor and waits for the aligned response. It validates the echoed
+// subject list and payload shape before trusting the answer.
+func (s *Service) fetchBatchEstimates(monitor ID, subjects []ID, qt *queryTimer) ([]float64, []bool, error) {
+	nonce := s.nextNonce()
+	key := respKey{peer: monitor, typ: core.MsgAvailBatchResp, nonce: nonce}
+	ch := s.disp.subscribe(key)
+	defer s.disp.cancel(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.node.SetResponseHandler(nil)
+	s.node.QueryAvailabilityBatch(monitor, subjects, nonce)
+	s.mu.Unlock()
+	m, err := qt.wait(ch)
+	if err != nil {
+		return nil, nil, fmt.Errorf("avmon: batch estimates from %v: %w", monitor, err)
+	}
+	if len(m.View) != len(subjects) || len(m.Avails) != len(subjects) || len(m.Knowns) != len(subjects) {
+		return nil, nil, fmt.Errorf("avmon: %v answered batch with wrong shape (%d/%d/%d entries, want %d)",
+			monitor, len(m.View), len(m.Avails), len(m.Knowns), len(subjects))
+	}
+	for j, subject := range subjects {
+		if m.View[j] != subject {
+			return nil, nil, fmt.Errorf("avmon: %v echoed subject %v at position %d, want %v",
+				monitor, m.View[j], j, subject)
+		}
+	}
+	return m.Avails, m.Knowns, nil
 }

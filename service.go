@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"avmon/internal/core"
@@ -25,6 +26,19 @@ type ServiceConfig struct {
 	Options NodeOptions
 	// Seed seeds the node's private randomness; 0 uses the clock.
 	Seed int64
+	// QueryCache enables the bounded availability-answer cache on the
+	// query path: a verified report younger than the cache TTL is
+	// served without any network traffic. Cached reports are shared
+	// between callers and must be treated as read-only.
+	QueryCache bool
+	// QueryCacheTTL overrides the cache's answer lifetime; 0 ties it
+	// to the node's monitoring period (an estimate cannot change
+	// faster than monitors sample, so that is the natural freshness
+	// horizon).
+	QueryCacheTTL time.Duration
+	// QueryCacheEntries bounds the cache; 0 selects
+	// DefaultAnswerCacheEntries.
+	QueryCacheEntries int
 }
 
 // Service runs one AVMON node over UDP: a receive loop plus protocol
@@ -37,11 +51,21 @@ type Service struct {
 	transport *netstack.UDPTransport
 	bootstrap ids.ID
 
+	// disp routes query responses to their callers by correlation key;
+	// answers holds the optional bounded TTL answer cache (nil when
+	// disabled). nonceBase/nonceCtr generate per-query nonces.
+	disp      *respDispatcher
+	answers   *AnswerCache
+	nonceBase uint64
+	nonceCtr  uint64 // atomic
+
 	mu      sync.Mutex // serializes node access
 	started bool
+	stopped bool
 
-	stop chan struct{}
-	done sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
 }
 
 // NewService validates the configuration and binds the UDP socket.
@@ -93,31 +117,76 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		_ = transport.Close()
 		return nil, err
 	}
-	return &Service{
+	s := &Service{
 		cfg:       cfg,
 		node:      node,
 		transport: transport,
 		bootstrap: bootstrap,
+		disp:      newRespDispatcher(),
+		nonceBase: mix64(uint64(seed)),
 		stop:      make(chan struct{}),
-	}, nil
+	}
+	// The dispatcher is the node's single, permanent response handler;
+	// individual queries subscribe per correlation key instead of
+	// re-pointing the hook (which raced under concurrent queries).
+	node.SetResponseHandler(s.disp.dispatch)
+	if cfg.QueryCache {
+		ttl := cfg.QueryCacheTTL
+		if ttl <= 0 {
+			ttl = node.Config().MonitorPeriod
+		}
+		s.answers = NewAnswerCache(ttl, cfg.QueryCacheEntries)
+	}
+	return s, nil
+}
+
+// nextNonce returns a fresh query-correlation nonce. Nonces are drawn
+// from a mixed atomic counter so concurrent queries never collide, and
+// never zero (protocol messages leave the nonce field zero).
+func (s *Service) nextNonce() uint64 {
+	n := mix64(s.nonceBase + atomic.AddUint64(&s.nonceCtr, 1))
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix, so
+// sequential counter values map to well-spread nonces.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // ID returns the service's identity.
 func (s *Service) ID() ID { return s.node.ID() }
 
 // Start joins the system and launches the receive loop and protocol
-// tickers. It returns immediately.
+// tickers. It returns immediately. Starting twice, or starting after
+// Stop, returns an error without launching anything.
 func (s *Service) Start() error {
 	s.mu.Lock()
 	if s.started {
 		s.mu.Unlock()
 		return fmt.Errorf("avmon: service already started")
 	}
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("avmon: service already stopped")
+	}
 	s.started = true
 	s.node.Join(time.Now(), s.bootstrap)
+	cfg := s.node.Config()
+	// All WaitGroup Adds happen inside this critical section: a
+	// concurrent Stop can only observe started=true after we release
+	// the lock, so its Wait never races an Add.
+	s.done.Add(3)
 	s.mu.Unlock()
 
-	s.done.Add(1)
 	go func() {
 		defer s.done.Done()
 		_ = s.transport.Serve(func(from ID, m *core.Message) {
@@ -126,42 +195,59 @@ func (s *Service) Start() error {
 			s.mu.Unlock()
 		})
 	}()
-
-	cfg := s.node.Config()
-	s.runTicker(cfg.Period, s.node.Tick)
-	s.runTicker(cfg.MonitorPeriod, s.node.MonitorTick)
+	go s.runTicker(cfg.Period, s.node.Tick)
+	go s.runTicker(cfg.MonitorPeriod, s.node.MonitorTick)
 	return nil
 }
 
+// runTicker drives one protocol ticker until Stop. The caller accounts
+// for it in the done WaitGroup before spawning.
 func (s *Service) runTicker(period time.Duration, fn func(time.Time)) {
-	s.done.Add(1)
-	go func() {
-		defer s.done.Done()
-		t := time.NewTicker(period)
-		defer t.Stop()
-		for {
-			select {
-			case now := <-t.C:
-				s.mu.Lock()
-				fn(now)
-				s.mu.Unlock()
-			case <-s.stop:
-				return
-			}
+	defer s.done.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.mu.Lock()
+			fn(now)
+			s.mu.Unlock()
+		case <-s.stop:
+			return
 		}
-	}()
+	}
 }
 
 // Stop leaves the system and shuts down all goroutines and the socket.
-// It is safe to call once.
+// It is idempotent: repeated Stops, Stop before Start, and Stop racing
+// Start are all safe (a Start losing the race returns an error instead
+// of launching).
 func (s *Service) Stop() {
 	s.mu.Lock()
-	s.node.Leave(time.Now())
+	wasStopped := s.stopped
+	s.stopped = true
+	if !wasStopped && s.started {
+		s.node.Leave(time.Now())
+	}
 	s.mu.Unlock()
-	close(s.stop)
-	_ = s.transport.Close()
+	s.stopOnce.Do(func() { close(s.stop) })
+	_ = s.transport.Close() // idempotent at the socket layer
 	s.done.Wait()
 }
+
+// QueryCacheStats returns the answer-cache counters; ok is false when
+// the cache is disabled.
+func (s *Service) QueryCacheStats() (stats AnswerCacheStats, ok bool) {
+	if s.answers == nil {
+		return AnswerCacheStats{}, false
+	}
+	return s.answers.Stats(), true
+}
+
+// DroppedResponses reports how many uncorrelated query responses the
+// dispatcher discarded: stale answers arriving after their query timed
+// out, or replays whose nonce matched no outstanding query.
+func (s *Service) DroppedResponses() uint64 { return s.disp.staleCount() }
 
 // Monitors returns this node's currently discovered pinging set.
 func (s *Service) Monitors() []ID {
