@@ -72,6 +72,29 @@ func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
 // reduced size. The real sweep: go run ./cmd/avmon-bench -run query
 func BenchmarkQuery(b *testing.B) { benchExperiment(b, "query") }
 
+// BenchmarkRealnet boots the real-deployment harness (real Service
+// nodes over memnet and 127.0.0.1 UDP, gated against the simulator's
+// prediction) at a reduced size. Unlike the other benchmarks its
+// timings are wall-clock deployments, not simulations, so it uses its
+// own scale: benchOptions' 60ms-floor period at N=100 saturates a
+// small host and trips the timing gate spuriously; the 60-node
+// deployment here matches the CI smoke configuration. The real run:
+// go run ./cmd/avmon-bench -run realnet
+func BenchmarkRealnet(b *testing.B) {
+	runner := experiments.Registry()["realnet"]
+	opts := experiments.Options{Scale: 0.3, Seed: 1, Ns: []int{60}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := runner(opts)
+		if err != nil {
+			b.Fatalf("realnet: %v", err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + res.String())
+		}
+	}
+}
+
 // BenchmarkFigure3 regenerates Figure 3 (average discovery time of
 // first monitors vs N, STAT/SYNTH/SYNTH-BD).
 func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }

@@ -203,12 +203,16 @@ func run(args []string) error {
 		// sweeps are excluded: the large-N scale sweep because its N
 		// is fixed at 10k/30k/100k regardless of -scale (a 100k point
 		// costs minutes of wall time and gigabytes of RSS), and wan,
-		// skew, chaos, and query because all five write checked-in
-		// JSON artifacts that must only be regenerated by explicit,
-		// deliberately-scaled runs. Run them with -run scale /
-		// -run wan / -run skew / -run chaos / -run query.
+		// skew, chaos, query, and realnet because all six write
+		// checked-in JSON artifacts that must only be regenerated by
+		// explicit, deliberately-scaled runs (realnet additionally
+		// boots hundreds of real wall-clock Service nodes, so its
+		// results are machine-load dependent). Run them with
+		// -run scale / -run wan / -run skew / -run chaos /
+		// -run query / -run realnet.
 		excluded := map[string]bool{
-			"scale": true, "wan": true, "skew": true, "chaos": true, "query": true,
+			"scale": true, "wan": true, "skew": true, "chaos": true,
+			"query": true, "realnet": true,
 		}
 		for _, id := range experiments.IDs() {
 			if !excluded[id] {

@@ -175,6 +175,7 @@ func Registry() map[string]Runner {
 		"skew":     Skew,
 		"chaos":    Chaos,
 		"query":    Query,
+		"realnet":  Realnet,
 		"figure3":  Figure3,
 		"figure4":  Figure4,
 		"figure5":  Figure5,

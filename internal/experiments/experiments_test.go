@@ -15,7 +15,8 @@ func tinyOptions() Options {
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	want := []string{
-		"table1", "scale", "wan", "skew", "chaos", "query", "figure3", "figure4", "figure5", "figure6", "figure7",
+		"table1", "scale", "wan", "skew", "chaos", "query", "realnet",
+		"figure3", "figure4", "figure5", "figure6", "figure7",
 		"figure8", "figure9", "figure10", "figure11", "figure12",
 		"figure13", "figure14", "figure15", "figure16", "figure17",
 		"figure18", "figure19", "figure20",

@@ -1,0 +1,388 @@
+// Package memnet is an in-process loopback network for running many
+// real avmon.Service instances in one process: every endpoint is a
+// full Transport (Send / Serve / Close) whose datagrams pass through
+// the real netstack codec, but delivery happens over channels instead
+// of UDP sockets. The network reuses the simulator's latency and loss
+// models (internal/simnet: constant, lognormal, zone-matrix latency;
+// Bernoulli and Gilbert-Elliott loss) and replays their draws in wall
+// clock — a message drawn at 30 ms latency is delivered ~30 ms later
+// by a single delivery-wheel goroutine.
+//
+// This is the mocknet half of the mocknet→realnet test progression:
+// the same Service code, the same assertions, a swappable transport.
+// Compared to 127.0.0.1 UDP sockets, memnet removes the file-
+// descriptor ceiling (thousands of nodes per process), adds fault
+// injection, and counts every datagram — sent, lost, unroutable,
+// overflowed, malformed — so an observer can account for traffic
+// without packet capture.
+package memnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"avmon/internal/core"
+	"avmon/internal/ids"
+	"avmon/internal/netstack"
+	"avmon/internal/simnet"
+)
+
+// DefaultInboxDepth is the per-endpoint receive queue length when
+// Config.InboxDepth is zero. A full inbox drops the datagram (counted
+// in InboxOverflows), mirroring a UDP socket buffer overflow.
+const DefaultInboxDepth = 1024
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency draws per-message delivery delays in wall clock; nil
+	// delivers immediately (still asynchronously, through the
+	// destination inbox). The simnet models plug in directly.
+	Latency simnet.LatencyModel
+	// Loss decides per-message drops; nil is lossless. Gilbert-Elliott
+	// burst state is kept per sending endpoint, as in the simulator.
+	Loss simnet.LossModel
+	// Seed seeds the network's latency/loss randomness; 0 uses the
+	// clock. (Wall-clock delivery makes runs non-deterministic either
+	// way; the seed fixes only the draw sequence.)
+	Seed int64
+	// InboxDepth bounds each endpoint's receive queue
+	// (0 = DefaultInboxDepth).
+	InboxDepth int
+}
+
+// Stats are the network-wide drop counters (per-endpoint counters live
+// on each Transport).
+type Stats struct {
+	// LossDrops counts messages dropped by the loss model.
+	LossDrops uint64
+	// UnroutableDrops counts messages sent to identities with no
+	// registered (or an already-closed) endpoint.
+	UnroutableDrops uint64
+	// InboxOverflows counts messages dropped because the destination
+	// inbox was full, summed over all endpoints.
+	InboxOverflows uint64
+}
+
+// delivery is one in-flight datagram waiting on the delivery wheel.
+type delivery struct {
+	at  time.Time
+	seq uint64 // FIFO tie-break for equal deadlines
+	dst *Transport
+	buf []byte
+}
+
+// wheel is the pending-delivery min-heap, ordered by (at, seq).
+type wheel []delivery
+
+func (w wheel) Len() int { return len(w) }
+func (w wheel) Less(i, j int) bool {
+	if !w[i].at.Equal(w[j].at) {
+		return w[i].at.Before(w[j].at)
+	}
+	return w[i].seq < w[j].seq
+}
+func (w wheel) Swap(i, j int) { w[i], w[j] = w[j], w[i] }
+func (w *wheel) Push(x any)   { *w = append(*w, x.(delivery)) }
+func (w *wheel) Pop() any     { old := *w; n := len(old); d := old[n-1]; *w = old[:n-1]; return d }
+
+// Network is the in-process loopback hub. Create with New, mint
+// endpoints with Listen, and Close when done. All methods are safe for
+// concurrent use.
+type Network struct {
+	cfg   Config
+	depth int
+
+	mu     sync.Mutex
+	rng    *rand.Rand // latency/loss draws, guarded by mu
+	eps    map[ids.ID]*Transport
+	queue  wheel
+	seq    uint64
+	closed bool
+
+	wake chan struct{}
+	quit chan struct{}
+	done sync.WaitGroup
+
+	lossDrops       uint64 // atomics
+	unroutableDrops uint64
+	inboxOverflows  uint64
+}
+
+// New builds a Network and starts its delivery wheel.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	depth := cfg.InboxDepth
+	if depth <= 0 {
+		depth = DefaultInboxDepth
+	}
+	n := &Network{
+		cfg:   cfg,
+		depth: depth,
+		rng:   rand.New(rand.NewSource(seed)),
+		eps:   make(map[ids.ID]*Transport),
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+	}
+	n.done.Add(1)
+	go n.dispatch()
+	return n
+}
+
+// Listen registers a new endpoint for id. Each identity may be bound
+// at most once at a time; closing the endpoint frees it.
+func (n *Network) Listen(id ids.ID) (*Transport, error) {
+	if id.IsNone() {
+		return nil, fmt.Errorf("memnet: cannot listen on the None identity")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("memnet: network is closed")
+	}
+	if _, dup := n.eps[id]; dup {
+		return nil, fmt.Errorf("memnet: %v is already bound", id)
+	}
+	t := &Transport{
+		id:    id,
+		net:   n,
+		inbox: make(chan []byte, n.depth),
+		quit:  make(chan struct{}),
+	}
+	n.eps[id] = t
+	return t, nil
+}
+
+// Stats returns the network-wide drop counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		LossDrops:       atomic.LoadUint64(&n.lossDrops),
+		UnroutableDrops: atomic.LoadUint64(&n.unroutableDrops),
+		InboxOverflows:  atomic.LoadUint64(&n.inboxOverflows),
+	}
+}
+
+// Close shuts down the delivery wheel and every endpoint still open.
+// In-flight datagrams are discarded.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Transport, 0, len(n.eps))
+	for _, t := range n.eps {
+		eps = append(eps, t)
+	}
+	n.queue = nil
+	n.mu.Unlock()
+	close(n.quit)
+	n.done.Wait()
+	for _, t := range eps {
+		_ = t.Close()
+	}
+}
+
+// send routes one encoded datagram: loss and latency draws under the
+// network lock (from the shared stream, with per-sender loss state),
+// then either immediate handoff or the delivery wheel.
+func (n *Network) send(src *Transport, to ids.ID, buf []byte) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	if n.cfg.Loss != nil && n.cfg.Loss.Drop(&src.lossSt, n.rng) {
+		n.mu.Unlock()
+		atomic.AddUint64(&n.lossDrops, 1)
+		return
+	}
+	var delay time.Duration
+	if n.cfg.Latency != nil {
+		delay = n.cfg.Latency.Latency(src.id, to, n.rng)
+	}
+	if delay <= 0 {
+		dst := n.eps[to]
+		n.mu.Unlock()
+		n.handoff(dst, buf)
+		return
+	}
+	dst := n.eps[to]
+	if dst == nil {
+		n.mu.Unlock()
+		atomic.AddUint64(&n.unroutableDrops, 1)
+		return
+	}
+	n.seq++
+	d := delivery{at: time.Now().Add(delay), seq: n.seq, dst: dst, buf: buf}
+	heap.Push(&n.queue, d)
+	isHead := n.queue[0].seq == d.seq
+	n.mu.Unlock()
+	if isHead {
+		// The wheel may be sleeping past the new earliest deadline.
+		select {
+		case n.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// handoff enqueues a datagram on the destination inbox, dropping it if
+// the destination is gone or its inbox is full.
+func (n *Network) handoff(dst *Transport, buf []byte) {
+	if dst == nil {
+		atomic.AddUint64(&n.unroutableDrops, 1)
+		return
+	}
+	select {
+	case dst.inbox <- buf:
+	default:
+		atomic.AddUint64(&n.inboxOverflows, 1)
+		atomic.AddUint64(&dst.inboxDrops, 1)
+	}
+}
+
+// dispatch is the delivery wheel: a single goroutine that sleeps until
+// the earliest pending deadline and hands due datagrams to their
+// destination inboxes.
+func (n *Network) dispatch() {
+	defer n.done.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		n.mu.Lock()
+		now := time.Now()
+		var due []delivery
+		for len(n.queue) > 0 && !n.queue[0].at.After(now) {
+			due = append(due, heap.Pop(&n.queue).(delivery))
+		}
+		wait := time.Hour
+		if len(n.queue) > 0 {
+			wait = n.queue[0].at.Sub(now)
+		}
+		n.mu.Unlock()
+		for _, d := range due {
+			n.handoff(d.dst, d.buf)
+		}
+		// A spurious stale tick after Reset only causes one extra loop
+		// iteration, which is harmless here.
+		timer.Reset(wait)
+		select {
+		case <-n.wake:
+		case <-timer.C:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// unregister removes a closing endpoint from the routing table.
+func (n *Network) unregister(id ids.ID) {
+	n.mu.Lock()
+	delete(n.eps, id)
+	n.mu.Unlock()
+}
+
+// Transport is one memnet endpoint. It satisfies the same contract as
+// netstack.UDPTransport (avmon.Transport): best-effort Send, a
+// blocking Serve loop, idempotent Close, and scrapeable traffic
+// counters.
+type Transport struct {
+	id    ids.ID
+	net   *Network
+	inbox chan []byte
+	quit  chan struct{}
+
+	closeOnce sync.Once
+
+	lossSt simnet.LossState // guarded by net.mu
+
+	datagramsSent uint64 // atomics
+	wireBytes     uint64
+	rawBytes      uint64
+	dropped       uint64
+	inboxDrops    uint64
+}
+
+var _ core.Transport = (*Transport)(nil)
+
+// ID returns the bound identity.
+func (t *Transport) ID() ids.ID { return t.id }
+
+// Send implements core.Transport: the message is serialized through
+// the real wire codec, subjected to the network's loss and latency
+// models, and delivered to the destination inbox. Errors are dropped
+// by design, exactly as over UDP.
+func (t *Transport) Send(to ids.ID, m *core.Message) {
+	buf, err := netstack.Encode(m)
+	if err != nil {
+		return
+	}
+	select {
+	case <-t.quit:
+		return
+	default:
+	}
+	atomic.AddUint64(&t.datagramsSent, 1)
+	atomic.AddUint64(&t.wireBytes, uint64(m.WireSize()))
+	atomic.AddUint64(&t.rawBytes, uint64(len(buf)))
+	t.net.send(t, to, buf)
+}
+
+// Serve reads datagrams and invokes handle for each valid message
+// until Close is called. Malformed datagrams are counted and dropped,
+// mirroring the UDP transport.
+func (t *Transport) Serve(handle func(from ids.ID, m *core.Message)) error {
+	for {
+		select {
+		case buf := <-t.inbox:
+			m, err := netstack.Decode(buf)
+			if err != nil {
+				atomic.AddUint64(&t.dropped, 1)
+				continue
+			}
+			handle(m.From, m)
+		case <-t.quit:
+			return nil
+		}
+	}
+}
+
+// Close unregisters the endpoint and unblocks Serve. It is idempotent
+// and does not wait for Serve to return: the owner of the Serve
+// goroutine joins it, exactly as with the UDP transport.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		t.net.unregister(t.id)
+		close(t.quit)
+	})
+	return nil
+}
+
+// DatagramsSent returns how many datagrams this endpoint sent
+// (pre-loss: drawn losses still count as sent, as they would on UDP).
+func (t *Transport) DatagramsSent() uint64 { return atomic.LoadUint64(&t.datagramsSent) }
+
+// WireBytesSent returns cumulative outgoing traffic under the paper's
+// byte-accounting model (Message.WireSize), directly comparable to the
+// simulator's per-node BytesOut.
+func (t *Transport) WireBytesSent() uint64 { return atomic.LoadUint64(&t.wireBytes) }
+
+// RawBytesSent returns cumulative outgoing traffic in encoded-codec
+// bytes (the datagram sizes a real socket would carry).
+func (t *Transport) RawBytesSent() uint64 { return atomic.LoadUint64(&t.rawBytes) }
+
+// DroppedDatagrams returns how many received datagrams failed to
+// decode and were dropped by Serve.
+func (t *Transport) DroppedDatagrams() uint64 { return atomic.LoadUint64(&t.dropped) }
+
+// InboxOverflows returns how many datagrams addressed to this endpoint
+// were dropped because its inbox was full.
+func (t *Transport) InboxOverflows() uint64 { return atomic.LoadUint64(&t.inboxDrops) }

@@ -1,0 +1,202 @@
+package memnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"avmon/internal/core"
+	"avmon/internal/ids"
+	"avmon/internal/simnet"
+)
+
+// collect starts a Serve loop appending every delivered message.
+func collect(t *testing.T, tr *Transport) (func() []*core.Message, chan struct{}) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []*core.Message
+	notify := make(chan struct{}, 64)
+	go func() {
+		_ = tr.Serve(func(from ids.ID, m *core.Message) {
+			mu.Lock()
+			got = append(got, m)
+			mu.Unlock()
+			select {
+			case notify <- struct{}{}:
+			default:
+			}
+		})
+	}()
+	return func() []*core.Message {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*core.Message(nil), got...)
+	}, notify
+}
+
+func TestMemnetDelivery(t *testing.T) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	a, err := n.Listen(ids.MustParse("127.0.0.1:9001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen(ids.MustParse("127.0.0.1:9002"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, notify := collect(t, b)
+
+	a.Send(b.ID(), &core.Message{Type: core.MsgPing, From: a.ID(), Seq: 7})
+	select {
+	case <-notify:
+	case <-time.After(3 * time.Second):
+		t.Fatal("datagram not delivered within 3s")
+	}
+	msgs := got()
+	if len(msgs) != 1 || msgs[0].Type != core.MsgPing || msgs[0].Seq != 7 || msgs[0].From != a.ID() {
+		t.Errorf("received %+v", msgs)
+	}
+	if a.DatagramsSent() != 1 || a.WireBytesSent() == 0 || a.RawBytesSent() == 0 {
+		t.Errorf("sender counters = (%d, %d, %d), want non-zero traffic",
+			a.DatagramsSent(), a.WireBytesSent(), a.RawBytesSent())
+	}
+	// Wire accounting follows the paper's model exactly.
+	if want := (&core.Message{Type: core.MsgPing}).WireSize(); a.WireBytesSent() != uint64(want) {
+		t.Errorf("WireBytesSent = %d, want %d", a.WireBytesSent(), want)
+	}
+}
+
+func TestMemnetLatencyDelaysDelivery(t *testing.T) {
+	lat, err := simnet.NewConstantLatency(60 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(Config{Latency: lat, Seed: 1})
+	defer n.Close()
+	a, _ := n.Listen(ids.Sim(1))
+	b, _ := n.Listen(ids.Sim(2))
+	_, notify := collect(t, b)
+
+	start := time.Now()
+	a.Send(b.ID(), &core.Message{Type: core.MsgPing, From: a.ID()})
+	select {
+	case <-notify:
+	case <-time.After(3 * time.Second):
+		t.Fatal("datagram not delivered within 3s")
+	}
+	// Allow generous slack below the drawn latency for coarse timers,
+	// but delivery must not be (near-)immediate.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("delivered after %v, want ≥ ~60ms (modeled latency)", elapsed)
+	}
+}
+
+func TestMemnetGilbertElliottLossDrops(t *testing.T) {
+	// lossGood = lossBad = 1: every message is dropped regardless of
+	// the chain state, so the assertion is deterministic.
+	loss, err := simnet.NewGilbertElliottLoss(0.5, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(Config{Loss: loss, Seed: 1})
+	defer n.Close()
+	a, _ := n.Listen(ids.Sim(1))
+	b, _ := n.Listen(ids.Sim(2))
+	got, _ := collect(t, b)
+
+	for i := 0; i < 10; i++ {
+		a.Send(b.ID(), &core.Message{Type: core.MsgPing, From: a.ID(), Seq: uint64(i)})
+	}
+	time.Sleep(100 * time.Millisecond)
+	if msgs := got(); len(msgs) != 0 {
+		t.Errorf("received %d messages through an always-lossy channel", len(msgs))
+	}
+	if st := n.Stats(); st.LossDrops != 10 {
+		t.Errorf("LossDrops = %d, want 10", st.LossDrops)
+	}
+	// Losses still count as sent on the sender, as they would on UDP.
+	if a.DatagramsSent() != 10 {
+		t.Errorf("DatagramsSent = %d, want 10", a.DatagramsSent())
+	}
+}
+
+func TestMemnetMalformedDatagramCounted(t *testing.T) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	b, _ := n.Listen(ids.Sim(2))
+	got, _ := collect(t, b)
+
+	b.inbox <- []byte{1, 2, 3} // raw garbage straight into the inbox
+	time.Sleep(50 * time.Millisecond)
+	if msgs := got(); len(msgs) != 0 {
+		t.Errorf("garbage decoded into %d messages", len(msgs))
+	}
+	if b.DroppedDatagrams() != 1 {
+		t.Errorf("DroppedDatagrams = %d, want 1", b.DroppedDatagrams())
+	}
+}
+
+func TestMemnetUnroutableAndDuplicate(t *testing.T) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	a, err := n.Listen(ids.Sim(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen(ids.Sim(1)); err == nil {
+		t.Error("duplicate Listen succeeded")
+	}
+	if _, err := n.Listen(ids.None); err == nil {
+		t.Error("Listen on None succeeded")
+	}
+	a.Send(ids.Sim(99), &core.Message{Type: core.MsgPing, From: a.ID()})
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Stats().UnroutableDrops == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := n.Stats(); st.UnroutableDrops != 1 {
+		t.Errorf("UnroutableDrops = %d, want 1", st.UnroutableDrops)
+	}
+}
+
+func TestMemnetCloseUnblocksServe(t *testing.T) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	a, _ := n.Listen(ids.Sim(1))
+	served := make(chan error, 1)
+	go func() { served <- a.Serve(func(ids.ID, *core.Message) {}) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("Serve returned %v after Close, want nil", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// Double Close is safe; Send after Close is a no-op; the identity
+	// is immediately rebindable.
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	a.Send(ids.Sim(1), &core.Message{Type: core.MsgPing})
+	if _, err := n.Listen(ids.Sim(1)); err != nil {
+		t.Errorf("rebind after Close: %v", err)
+	}
+}
+
+func TestMemnetNetworkCloseIdempotent(t *testing.T) {
+	n := New(Config{Seed: 1})
+	if _, err := n.Listen(ids.Sim(1)); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close()
+	if _, err := n.Listen(ids.Sim(2)); err == nil {
+		t.Error("Listen on a closed network succeeded")
+	}
+}

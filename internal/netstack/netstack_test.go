@@ -342,6 +342,19 @@ func TestUDPMalformedDatagramIgnored(t *testing.T) {
 	if count != 1 {
 		t.Errorf("handled %d messages, want 1 (garbage dropped)", count)
 	}
+	// The drop is counted, per Serve's documented contract.
+	if got := rx.DroppedDatagrams(); got != 1 {
+		t.Errorf("DroppedDatagrams() = %d, want 1", got)
+	}
+	if got := tx.DroppedDatagrams(); got != 0 {
+		t.Errorf("sender DroppedDatagrams() = %d, want 0", got)
+	}
+	// The valid send was accounted under the paper's wire model.
+	want := (&core.Message{Type: core.MsgPong}).WireSize()
+	if tx.DatagramsSent() != 1 || tx.WireBytesSent() != uint64(want) {
+		t.Errorf("sender counters = (%d datagrams, %d wire bytes), want (1, %d)",
+			tx.DatagramsSent(), tx.WireBytesSent(), want)
+	}
 }
 
 func addrOf(id ids.ID) *net.UDPAddr {

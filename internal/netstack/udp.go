@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"avmon/internal/core"
 	"avmon/internal/ids"
@@ -20,6 +21,15 @@ type UDPTransport struct {
 	closed bool
 
 	wg sync.WaitGroup
+
+	// Traffic counters, updated atomically so observers can scrape a
+	// live transport without taking its lock. wireBytes charges the
+	// paper's accounting model (Message.WireSize), not raw datagram
+	// bytes, so real-deployment bandwidth is directly comparable to
+	// the simulator's per-node traffic numbers.
+	datagramsSent uint64
+	wireBytes     uint64
+	dropped       uint64 // malformed datagrams received
 }
 
 var _ core.Transport = (*UDPTransport)(nil)
@@ -60,8 +70,24 @@ func (t *UDPTransport) Send(to ids.ID, m *core.Message) {
 	if t.closed {
 		return
 	}
-	_, _ = t.conn.WriteToUDP(buf, dst)
+	if _, err := t.conn.WriteToUDP(buf, dst); err == nil {
+		atomic.AddUint64(&t.datagramsSent, 1)
+		atomic.AddUint64(&t.wireBytes, uint64(m.WireSize()))
+	}
 }
+
+// DatagramsSent returns how many datagrams were successfully handed to
+// the socket.
+func (t *UDPTransport) DatagramsSent() uint64 { return atomic.LoadUint64(&t.datagramsSent) }
+
+// WireBytesSent returns the cumulative outgoing traffic under the
+// paper's byte-accounting model (Message.WireSize per datagram),
+// directly comparable to the simulator's per-node BytesOut.
+func (t *UDPTransport) WireBytesSent() uint64 { return atomic.LoadUint64(&t.wireBytes) }
+
+// DroppedDatagrams returns how many received datagrams failed to
+// decode and were dropped by Serve.
+func (t *UDPTransport) DroppedDatagrams() uint64 { return atomic.LoadUint64(&t.dropped) }
 
 // Serve reads datagrams and invokes handle for each valid message
 // until Close is called. It runs in the caller's goroutine; most
@@ -84,7 +110,9 @@ func (t *UDPTransport) Serve(handle func(from ids.ID, m *core.Message)) error {
 		}
 		m, err := Decode(buf[:n])
 		if err != nil {
-			continue // forged or corrupt datagram
+			// Forged or corrupt datagram: counted, then dropped.
+			atomic.AddUint64(&t.dropped, 1)
+			continue
 		}
 		handle(m.From, m)
 	}

@@ -1,0 +1,434 @@
+package avmon
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"avmon/internal/ids"
+	"avmon/internal/memnet"
+	"avmon/internal/observer"
+	"avmon/internal/simnet"
+)
+
+// newMemnetServices boots n real Service instances over an in-process
+// memnet loopback, bootstrapped in a chain, and returns them with the
+// network. Cleanup stops every service and closes the network.
+func newMemnetServices(t *testing.T, n int, opts NodeOptions, netCfg memnet.Config) ([]*Service, *memnet.Network) {
+	t.Helper()
+	net := memnet.New(netCfg)
+	t.Cleanup(net.Close)
+	services := make([]*Service, 0, n)
+	for i := 0; i < n; i++ {
+		id := ids.Sim(i + 1)
+		tr, err := net.Listen(id)
+		if err != nil {
+			t.Fatalf("memnet.Listen %d: %v", i, err)
+		}
+		cfg := ServiceConfig{
+			Addr:      id.String(),
+			N:         n,
+			Options:   opts,
+			Seed:      int64(i + 1),
+			Transport: tr,
+		}
+		if i > 0 {
+			cfg.Bootstrap = ids.Sim(1 + i/2).String() // binary-ish bootstrap tree
+		}
+		s, err := NewService(cfg)
+		if err != nil {
+			t.Fatalf("NewService %d: %v", i, err)
+		}
+		services = append(services, s)
+		t.Cleanup(s.Stop)
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return services, net
+}
+
+// waitDiscovered polls until at least want services report a non-empty
+// pinging set, failing the test at the deadline.
+func waitDiscovered(t *testing.T, services []*Service, want int, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for {
+		discovered := 0
+		for _, s := range services {
+			if ps, _, _, _ := s.Stats(); ps > 0 {
+				discovered++
+			}
+		}
+		if discovered >= want {
+			return
+		}
+		if time.Now().After(end) {
+			t.Fatalf("after %v only %d of %d services discovered monitors (want ≥ %d)",
+				deadline, discovered, len(services), want)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestServiceMemnetLifecycleScale boots 200 real Service nodes over
+// memnet, runs an observer concurrently with the protocol, issues
+// queries, and stops everything — the start→query→stop lifecycle edge
+// the realnet harness depends on, exercised under -race in CI.
+func TestServiceMemnetLifecycleScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large realnet test")
+	}
+	const n = 200
+	lat, err := simnet.NewConstantLatency(2 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periods are deliberately modest: 200 nodes under the race
+	// detector saturate the loopback if driven at sim-benchmark rates.
+	opts := NodeOptions{
+		K:             5,
+		CVS:           10,
+		Period:        250 * time.Millisecond,
+		MonitorPeriod: 250 * time.Millisecond,
+		Hash:          HashFast,
+	}
+	services, net := newMemnetServices(t, n, opts,
+		memnet.Config{Latency: lat, Seed: 7, InboxDepth: 8192})
+
+	// Observe every node while the protocol runs.
+	obs := observer.New(50 * time.Millisecond)
+	for _, s := range services {
+		obs.Add(observer.Target{Node: s})
+	}
+	obs.Start()
+	defer obs.Stop()
+
+	waitDiscovered(t, services, n*6/10, 60*time.Second)
+
+	// Query subjects end to end through the running mesh until one
+	// resolves (individual attempts may race monitor churn).
+	answered := 0
+	for i := 0; i < 20 && answered == 0; i++ {
+		subject := services[(i*17+3)%n]
+		if ps, _, _, _ := subject.Stats(); ps == 0 {
+			continue
+		}
+		querier := services[(i*29+11)%n]
+		if querier == subject {
+			continue
+		}
+		if r, err := querier.QueryAvailability(subject.ID(), 0, 3*time.Second); err == nil {
+			answered++
+			if r.Mean < 0 || r.Mean > 1 {
+				t.Errorf("availability estimate %v out of [0,1]", r.Mean)
+			}
+		}
+	}
+	if answered == 0 {
+		t.Error("no query against the live mesh succeeded")
+	}
+
+	obs.Stop()
+	if obs.Scrapes() == 0 {
+		t.Error("observer never completed a scrape")
+	}
+	// Observed discovery must be visible for most nodes.
+	found := 0
+	for i := 0; i < obs.Size(); i++ {
+		if _, ok := obs.DiscoveryTime(i); ok {
+			found++
+		}
+	}
+	if found < n/2 {
+		t.Errorf("observer recorded discovery for only %d/%d nodes", found, n)
+	}
+
+	// Orderly stop of all 200 nodes; Cleanup re-stops idempotently.
+	for _, s := range services {
+		s.Stop()
+	}
+	if st := net.Stats(); st.InboxOverflows > 0 {
+		t.Logf("memnet inbox overflows: %d", st.InboxOverflows)
+	}
+}
+
+// TestServiceObserverInvariance proves scraping is side-effect free:
+// with protocol tickers effectively frozen, hammering the observer
+// concurrently must leave every node's protocol fingerprint untouched.
+func TestServiceObserverInvariance(t *testing.T) {
+	const n = 20
+	opts := NodeOptions{
+		K:             4,
+		CVS:           6,
+		Period:        50 * time.Millisecond,
+		MonitorPeriod: 50 * time.Millisecond,
+		Hash:          HashFast,
+	}
+	services, _ := newMemnetServices(t, n, opts, memnet.Config{Seed: 11})
+	waitDiscovered(t, services, n/2, 30*time.Second)
+
+	// Freeze the protocol by stopping every service's tickers — the
+	// scrape surface stays readable after Stop.
+	for _, s := range services {
+		s.Stop()
+	}
+
+	fingerprint := func() []string {
+		fps := make([]string, n)
+		for i, s := range services {
+			ps, ts, cv, checks := s.Stats()
+			fps[i] = fmt.Sprintf("%d/%d/%d/%d/%v/%v", ps, ts, cv, checks, s.Monitors(), s.Targets())
+		}
+		return fps
+	}
+	before := fingerprint()
+
+	obs := observer.New(time.Millisecond)
+	for _, s := range services {
+		obs.Add(observer.Target{Node: s})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				obs.ScrapeOnce()
+			}
+		}()
+	}
+	wg.Wait()
+
+	after := fingerprint()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("node %d fingerprint changed under scraping:\n before %s\n after  %s",
+				i, before[i], after[i])
+		}
+	}
+	if obs.Scrapes() != 400 {
+		t.Errorf("Scrapes = %d, want 400", obs.Scrapes())
+	}
+}
+
+// TestServiceQueryBatchMemnetLoss runs QueryBatch against live memnet
+// nodes under bursty Gilbert-Elliott loss: live subjects may answer,
+// a stopped subject must fail with its own error without starving the
+// rest (the per-phase timeout isolation property).
+func TestServiceQueryBatchMemnetLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent realnet test")
+	}
+	const n = 10
+	lat, err := simnet.NewConstantLatency(2 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mild bursty loss: ~9% of time in a bad state dropping 30%.
+	loss, err := simnet.NewGilbertElliottLoss(0.05, 0.5, 0.01, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NodeOptions{
+		K:             4,
+		CVS:           6,
+		Period:        50 * time.Millisecond,
+		MonitorPeriod: 50 * time.Millisecond,
+		Hash:          HashFast,
+	}
+	services, _ := newMemnetServices(t, n, opts, memnet.Config{Latency: lat, Loss: loss, Seed: 3})
+	waitDiscovered(t, services, n-2, 30*time.Second)
+
+	dead := services[n-1]
+	dead.Stop()
+
+	querier := services[0]
+	subjects := []ID{services[2].ID(), services[4].ID(), dead.ID()}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		answers := querier.QueryBatch(subjects, 0, 2*time.Second)
+		if len(answers) != len(subjects) {
+			t.Fatalf("QueryBatch returned %d answers for %d subjects", len(answers), len(subjects))
+		}
+		if answers[2].Err == nil {
+			t.Fatalf("stopped subject resolved: %+v", answers[2].Report)
+		}
+		live := 0
+		for _, a := range answers[:2] {
+			if a.Err == nil && a.Report != nil {
+				live++
+			}
+		}
+		if live >= 1 {
+			return // dead subject isolated, live subjects answered
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live subject ever resolved under loss: %v / %v", answers[0].Err, answers[1].Err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// TestServiceDroppedResponsesOverMemnet forces a response to arrive
+// after its query timed out — 40ms of modeled latency against a 1ms
+// query timeout — and asserts the stale answer is accounted.
+func TestServiceDroppedResponsesOverMemnet(t *testing.T) {
+	const n = 4
+	lat, err := simnet.NewConstantLatency(40 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NodeOptions{
+		K:             2,
+		CVS:           4,
+		Period:        50 * time.Millisecond,
+		MonitorPeriod: 50 * time.Millisecond,
+		Hash:          HashFast,
+	}
+	services, _ := newMemnetServices(t, n, opts, memnet.Config{Latency: lat, Seed: 5})
+	waitDiscovered(t, services, 1, 30*time.Second)
+
+	querier, subject := services[0], services[1]
+	deadline := time.Now().Add(15 * time.Second)
+	for querier.DroppedResponses() == 0 {
+		_, err := querier.QueryAvailability(subject.ID(), 0, time.Millisecond)
+		if err == nil {
+			t.Fatal("1ms query beat 80ms of round-trip latency")
+		}
+		if !errors.Is(err, ErrQueryTimeout) {
+			t.Fatalf("unexpected query error: %v", err)
+		}
+		// The REPORT-RESP lands ~80ms after the request; give it time
+		// to reach the dispatcher and be counted stale.
+		time.Sleep(120 * time.Millisecond)
+		if time.Now().After(deadline) {
+			t.Fatal("stale response never counted in DroppedResponses")
+		}
+	}
+}
+
+// TestServiceNewServiceClosesSocketOnError asserts the UDP socket is
+// released when validation fails after the bind: rebinding the same
+// address must succeed immediately.
+func TestServiceNewServiceClosesSocketOnError(t *testing.T) {
+	addr := fmt.Sprintf("127.0.0.1:%d", 30000+rand.Intn(20000))
+	bad := ServiceConfig{
+		Addr: addr,
+		N:    16,
+		// CVS 1 fails core validation strictly after the socket bind.
+		Options: NodeOptions{CVS: 1, Hash: HashFast},
+	}
+	if _, err := NewService(bad); err == nil {
+		t.Fatal("NewService accepted CVS=1")
+	}
+	good := bad
+	good.Options.CVS = 4
+	s, err := NewService(good)
+	if err != nil {
+		t.Fatalf("rebind after failed NewService: %v", err)
+	}
+	s.Stop()
+}
+
+// TestServiceInjectedTransportIdentity rejects a transport bound to a
+// different identity than Addr, and leaves it open for the caller.
+func TestServiceInjectedTransportIdentity(t *testing.T) {
+	net := memnet.New(memnet.Config{Seed: 1})
+	defer net.Close()
+	tr, err := net.Listen(ids.Sim(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewService(ServiceConfig{
+		Addr:      ids.Sim(2).String(),
+		N:         8,
+		Options:   NodeOptions{CVS: 4, Hash: HashFast},
+		Transport: tr,
+	})
+	if err == nil {
+		t.Fatal("NewService accepted a transport bound to a different identity")
+	}
+	// The caller still owns the transport after the failure.
+	s, err := NewService(ServiceConfig{
+		Addr:      ids.Sim(1).String(),
+		N:         8,
+		Options:   NodeOptions{CVS: 4, Hash: HashFast},
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatalf("reusing the transport with the matching Addr: %v", err)
+	}
+	s.Stop()
+}
+
+// warpClock compresses protocol time by an integer factor: tickers
+// fire factor× faster and Now advances factor seconds per wall second.
+type warpClock struct {
+	start  time.Time
+	factor int
+}
+
+func (w warpClock) Now() time.Time {
+	return w.start.Add(time.Since(w.start) * time.Duration(w.factor))
+}
+
+func (w warpClock) Ticker(period time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(period / time.Duration(w.factor))
+	return t.C, t.Stop
+}
+
+// TestServiceAcceleratedClock proves clock injection compresses the
+// protocol: nodes configured with a 2s period discover each other in
+// well under 2s of wall time because the injected clock runs 50×.
+func TestServiceAcceleratedClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent realnet test")
+	}
+	const n = 6
+	clock := warpClock{start: time.Now(), factor: 50}
+	net := memnet.New(memnet.Config{Seed: 9})
+	t.Cleanup(net.Close)
+	opts := NodeOptions{
+		K:             3,
+		CVS:           4,
+		Period:        2 * time.Second, // 40ms of wall time at 50×
+		MonitorPeriod: 2 * time.Second,
+		Hash:          HashFast,
+	}
+	services := make([]*Service, 0, n)
+	for i := 0; i < n; i++ {
+		id := ids.Sim(i + 1)
+		tr, err := net.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ServiceConfig{
+			Addr:      id.String(),
+			N:         n,
+			Options:   opts,
+			Seed:      int64(i + 1),
+			Transport: tr,
+			Clock:     clock,
+		}
+		if i > 0 {
+			cfg.Bootstrap = ids.Sim(1).String()
+		}
+		s, err := NewService(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		services = append(services, s)
+		t.Cleanup(s.Stop)
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10s of wall time is 500s ≈ 250 protocol periods at 50× — far
+	// more than discovery needs; without acceleration, 10s of wall
+	// time would cover only 5 periods.
+	waitDiscovered(t, services, n*2/3, 10*time.Second)
+}

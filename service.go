@@ -12,6 +12,45 @@ import (
 	"avmon/internal/netstack"
 )
 
+// Transport is the pluggable datagram layer beneath a Service: the
+// protocol core's best-effort Send, a blocking receive loop, and a
+// Close that unblocks it. netstack.UDPTransport (real UDP sockets)
+// and memnet.Transport (in-process loopback with injected latency and
+// loss) both implement it, so the same Service — and the same
+// conformance assertions — run over either network.
+type Transport interface {
+	core.Transport
+	// Serve reads datagrams and invokes handle for each valid message
+	// until Close; malformed datagrams are counted and dropped.
+	Serve(handle func(from ids.ID, m *core.Message)) error
+	// Close shuts the transport down and unblocks Serve.
+	Close() error
+}
+
+// Clock supplies a Service's notion of protocol time: Now stamps
+// protocol events (joins, ticks, incoming messages) and Ticker drives
+// the periodic protocol loops. Injecting a clock lets harnesses and
+// tests accelerate or script protocol periods; nil selects the wall
+// clock (time.Now / time.NewTicker). The query plane always uses wall
+// time for its network deadlines.
+type Clock interface {
+	// Now returns the current protocol time.
+	Now() time.Time
+	// Ticker returns a channel delivering a tick roughly every period
+	// and a stop function releasing the ticker's resources.
+	Ticker(period time.Duration) (<-chan time.Time, func())
+}
+
+// wallClock is the default Clock: real time.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Ticker(period time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(period)
+	return t.C, t.Stop
+}
+
 // ServiceConfig parameterizes a real-network AVMON node.
 type ServiceConfig struct {
 	// Addr is this node's bind address and identity, "a.b.c.d:port".
@@ -39,6 +78,17 @@ type ServiceConfig struct {
 	// QueryCacheEntries bounds the cache; 0 selects
 	// DefaultAnswerCacheEntries.
 	QueryCacheEntries int
+	// Transport overrides the datagram layer. Nil binds a real UDP
+	// socket on Addr (netstack.Listen); non-nil injects any Transport
+	// — e.g. a memnet loopback endpoint — which must be bound to the
+	// same identity as Addr. Once NewService succeeds the Service owns
+	// the transport and closes it on Stop; if NewService fails, an
+	// injected transport is left open for the caller to close.
+	Transport Transport
+	// Clock overrides the Service's protocol time source (nil = the
+	// wall clock). Harnesses inject accelerated clocks to compress
+	// protocol periods without touching the system clock.
+	Clock Clock
 }
 
 // Service runs one AVMON node over UDP: a receive loop plus protocol
@@ -48,7 +98,8 @@ type ServiceConfig struct {
 type Service struct {
 	cfg       ServiceConfig
 	node      *core.Node
-	transport *netstack.UDPTransport
+	transport Transport
+	clock     Clock
 	bootstrap ids.ID
 
 	// disp routes query responses to their callers by correlation key;
@@ -91,8 +142,24 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	transport, err := netstack.Listen(id)
-	if err != nil {
+	transport := cfg.Transport
+	ownsTransport := false
+	if transport == nil {
+		t, err := netstack.Listen(id)
+		if err != nil {
+			return nil, err
+		}
+		transport = t
+		ownsTransport = true
+	} else if ident, ok := transport.(interface{ ID() ids.ID }); ok && ident.ID() != id {
+		return nil, fmt.Errorf("avmon: injected transport is bound to %v, not Addr %v", ident.ID(), id)
+	}
+	// From here on every failure must release a transport we created,
+	// or the socket leaks and the address stays unbindable.
+	fail := func(err error) (*Service, error) {
+		if ownsTransport {
+			_ = transport.Close()
+		}
 		return nil, err
 	}
 	seed := cfg.Seed
@@ -114,13 +181,17 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		HistoryStyle:  cfg.Options.HistoryStyle,
 	})
 	if err != nil {
-		_ = transport.Close()
-		return nil, err
+		return fail(err)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = wallClock{}
 	}
 	s := &Service{
 		cfg:       cfg,
 		node:      node,
 		transport: transport,
+		clock:     clock,
 		bootstrap: bootstrap,
 		disp:      newRespDispatcher(),
 		nonceBase: mix64(uint64(seed)),
@@ -179,7 +250,7 @@ func (s *Service) Start() error {
 		return fmt.Errorf("avmon: service already stopped")
 	}
 	s.started = true
-	s.node.Join(time.Now(), s.bootstrap)
+	s.node.Join(s.clock.Now(), s.bootstrap)
 	cfg := s.node.Config()
 	// All WaitGroup Adds happen inside this critical section: a
 	// concurrent Stop can only observe started=true after we release
@@ -191,7 +262,7 @@ func (s *Service) Start() error {
 		defer s.done.Done()
 		_ = s.transport.Serve(func(from ID, m *core.Message) {
 			s.mu.Lock()
-			s.node.Handle(from, m, time.Now())
+			s.node.Handle(from, m, s.clock.Now())
 			s.mu.Unlock()
 		})
 	}()
@@ -204,13 +275,13 @@ func (s *Service) Start() error {
 // for it in the done WaitGroup before spawning.
 func (s *Service) runTicker(period time.Duration, fn func(time.Time)) {
 	defer s.done.Done()
-	t := time.NewTicker(period)
-	defer t.Stop()
+	ticks, stop := s.clock.Ticker(period)
+	defer stop()
 	for {
 		select {
-		case now := <-t.C:
+		case <-ticks:
 			s.mu.Lock()
-			fn(now)
+			fn(s.clock.Now())
 			s.mu.Unlock()
 		case <-s.stop:
 			return
@@ -227,7 +298,7 @@ func (s *Service) Stop() {
 	wasStopped := s.stopped
 	s.stopped = true
 	if !wasStopped && s.started {
-		s.node.Leave(time.Now())
+		s.node.Leave(s.clock.Now())
 	}
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
