@@ -420,8 +420,31 @@ func NewCluster(cfg ClusterConfig, model ChurnModel) (*Cluster, error) {
 		// scheduler widens per-shard horizons with it.
 		sharded.SetCrossLaneBound(c.net.CrossLaneBound)
 	}
+	// One scratch instance per execution worker (the whole engine when
+	// serial, one per shard when sharded) carries the sweep buffers and
+	// the message freelist for every node that worker executes — per
+	// worker, not per node, so a million-node run pays for a handful.
+	eng.SetWorkerLocal(func() any { return &workerScratch{} })
 	model.Install(eng, c)
 	return c, nil
+}
+
+// workerScratch is the per-worker recycled state behind the cluster's
+// allocation-free steady state: the protocol sweep buffers and a
+// freelist of message envelopes. Messages migrate between workers with
+// the traffic (acquired on the sender's worker, recycled on the
+// receiver's), which stays balanced because steady-state traffic is
+// dominated by request/response pairs.
+type workerScratch struct {
+	msgs  []*core.Message
+	sweep core.SweepScratch
+}
+
+// scratchFor resolves the scratch of the worker currently executing
+// lane l. Call only from l's own events (or while quiescent).
+func (c *Cluster) scratchFor(l *sim.Lane) *workerScratch {
+	ws, _ := c.eng.WorkerLocal(l).(*workerScratch)
+	return ws
 }
 
 // undelivered runs on the destination's lane whenever a message finds
@@ -465,6 +488,16 @@ func (c *Cluster) Birth(idx int) {
 			return
 		}
 		m.node.Handle(from, cm, now)
+		// Receiver-side recycling: protocol envelopes are dead once
+		// Handle returns (handlers copy whatever they keep). Query
+		// messages are exempt — the response callback may retain them —
+		// and are left to the garbage collector.
+		if cm.Type <= core.MsgPR2 {
+			if ws := c.scratchFor(m.lane); ws != nil {
+				cm.Reset()
+				ws.msgs = append(ws.msgs, cm)
+			}
+		}
 	})
 	if err != nil {
 		return // duplicate identity; model misuse
@@ -477,6 +510,24 @@ func (c *Cluster) Birth(idx int) {
 	// state each (≈ 500 MB at N = 100,000 with rand.NewSource).
 	seed := c.cfg.Seed ^ (int64(idx)+1)*0x5851F42D4C957F2D
 	rng := sim.CompactRand(seed)
+	// The node draws envelopes and sweep scratch from whichever worker
+	// is executing its lane; both calls happen only on that lane.
+	acquireMsg := func() *core.Message {
+		if ws := c.scratchFor(m.lane); ws != nil {
+			if k := len(ws.msgs); k > 0 {
+				msg := ws.msgs[k-1]
+				ws.msgs = ws.msgs[:k-1]
+				return msg
+			}
+		}
+		return &core.Message{}
+	}
+	sweepScratch := func() *core.SweepScratch {
+		if ws := c.scratchFor(m.lane); ws != nil {
+			return &ws.sweep
+		}
+		return nil
+	}
 	nodeCfg := core.Config{
 		ID:               id,
 		Scheme:           c.scheme,
@@ -490,6 +541,8 @@ func (c *Cluster) Birth(idx int) {
 		ForgetfulC:       c.cfg.Options.ForgetfulC,
 		PR2:              c.cfg.Options.PR2,
 		HistoryStyle:     c.cfg.Options.HistoryStyle,
+		AcquireMessage:   acquireMsg,
+		Scratch:          sweepScratch,
 		Overreport:       rng.Float64() < c.cfg.OverreportFraction,
 		DisableReshuffle: c.cfg.Options.DisableReshuffle,
 		RejoinFullWeight: c.cfg.Options.RejoinFullWeight,

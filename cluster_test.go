@@ -435,6 +435,18 @@ func TestShardedClusterMatchesSerial(t *testing.T) {
 			},
 		},
 		{
+			// Windowed history stores: the flat target arena's
+			// non-inline branch (a Store per target instead of the raw
+			// inline counters), under churn, loss, and forgetful
+			// pinging — the layout the memory diet must not perturb.
+			name: "SYNTH-windowed-history",
+			cfg: ClusterConfig{
+				N: 80, Seed: 29, Loss: 0.1,
+				Options: NodeOptions{Forgetful: true, HistoryStyle: "recent:30m"},
+			},
+			mk: func() (ChurnModel, error) { return NewSYNTHBDModel(80, 0.3, 0.3) },
+		},
+		{
 			// Flash crowd plus mass leave and heal, all inside the
 			// fingerprint window: deterministic population shocks on
 			// top of the ordered-join base.

@@ -59,9 +59,12 @@ func NewStore(style string) (Store, error) {
 // estimator used in the paper's forgetful-pinging experiment
 // (Section 5.4: "the fraction of monitoring pings sent to that node
 // which receive a response back").
+// The counters are int32 so a Raw inlined by value (one per monitored
+// target at large N) packs into 8 bytes; one sample per monitoring
+// period keeps 2³¹ out of reach for any realistic horizon.
 type Raw struct {
-	up    int
-	total int
+	up    int32
+	total int32
 }
 
 var _ Store = (*Raw)(nil)
@@ -86,7 +89,7 @@ func (r *Raw) Estimate(time.Time) float64 {
 }
 
 // Samples implements Store.
-func (r *Raw) Samples() int { return r.total }
+func (r *Raw) Samples() int { return int(r.total) }
 
 // Recent keeps only samples within a sliding window and estimates
 // availability over that window.

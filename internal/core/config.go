@@ -61,6 +61,21 @@ type Config struct {
 	// "recent:<dur>", or "aged:<alpha>" (Section 1, sub-problem II).
 	HistoryStyle string
 
+	// AcquireMessage, when non-nil, supplies outgoing message
+	// envelopes — typically from a recycling pool owned by the thread
+	// executing the node — instead of allocating one per send. Supplied
+	// messages must be fully zeroed (Message.Reset); the node sets
+	// every field it uses and relinquishes ownership on send. nil means
+	// allocate.
+	AcquireMessage func() *Message
+
+	// Scratch, when non-nil, supplies the discovery-sweep scratch
+	// buffers. The instance must be owned by the thread currently
+	// executing the node (one per simulation worker, say); it carries
+	// no information between calls. nil gives the node a private
+	// scratch.
+	Scratch func() *SweepScratch
+
 	// Overreport makes this node a misbehaving monitor that reports
 	// 100% availability for every node it monitors (the attack of
 	// Section 5.4, Figure 20).

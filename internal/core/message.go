@@ -127,6 +127,15 @@ type Message struct {
 	Knowns []bool
 }
 
+// Reset zeroes the message for reuse, retaining the payload slices'
+// capacity. Pools recycling envelopes (see Config.AcquireMessage) must
+// call it before handing a message back out.
+func (m *Message) Reset() {
+	view, avails, knowns := m.View[:0], m.Avails[:0], m.Knowns[:0]
+	*m = Message{}
+	m.View, m.Avails, m.Knowns = view, avails, knowns
+}
+
 // Byte-size model used for bandwidth accounting. The paper charges
 // 8 bytes per coarse-view entry and per monitoring ping (Section 5.1).
 const (

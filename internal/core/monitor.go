@@ -9,38 +9,67 @@ import (
 
 // target tracks one monitored node u ∈ TS(x): its availability
 // history, outstanding probe, and the session bookkeeping that drives
-// forgetful pinging (Section 3.3).
+// forgetful pinging (Section 3.3). Targets live by value in the node's
+// targetArena (table.go); timestamps are UnixNano integers rather than
+// time.Time so an entry is pointer-free under the default raw history
+// (every simulated and real instant is far past 1970, so the zero
+// value still means "never").
 type target struct {
-	id    ids.ID
+	id ids.ID
+
+	// Availability history. The default "raw" style is inlined (store
+	// stays nil) so the common configuration carries no per-target heap
+	// object; windowed/aged styles hold their Store here.
+	raw   availability.Raw
 	store availability.Store
 
-	discovered time.Time
+	discovered int64 // UnixNano
 
 	awaitingSeq uint64 // outstanding MON-PING sequence (0 = none)
-	awaitingAt  time.Time
+	awaitingAt  int64  // UnixNano
 
-	everAcked    bool
-	lastAck      time.Time
-	sessionStart time.Time     // start of the currently observed session
+	lastAck      int64         // UnixNano
+	sessionStart int64         // UnixNano: start of the currently observed session
+	downSince    int64         // UnixNano
 	lastSession  time.Duration // most recent completed observed session ts(u)
-	down         bool
-	downSince    time.Time
 
-	pingsSent       uint64
-	acks            uint64
-	pingsSaved      uint64 // pings skipped by the forgetful optimization
-	pingsSuppressed uint64 // pings withheld by a colluding monitor
+	// Activity counters are uint32 — a target accrues at most one ping
+	// per period, so 2³² covers millennia of simulated time — and sit
+	// with the flags at the tail of the struct so the whole entry packs
+	// into 112 bytes (the arena holds ~K ≈ 21 of these per node at
+	// N = 10⁶; every 8 bytes here is 160 MB there).
+	pingsSent       uint32
+	acks            uint32
+	pingsSaved      uint32 // pings skipped by the forgetful optimization
+	pingsSuppressed uint32 // pings withheld by a colluding monitor
+
+	everAcked bool
+	down      bool
 }
 
-func newTarget(id ids.ID, historyStyle string, now time.Time) *target {
-	store, err := availability.NewStore(historyStyle)
-	if err != nil {
-		// Config validation accepts any non-empty style string;
-		// fall back to the paper's estimator rather than dropping
-		// the monitoring duty.
-		store = availability.NewRaw()
+// record folds one ping outcome into the target's history.
+func (t *target) record(at time.Time, up bool) {
+	if t.store != nil {
+		t.store.Record(at, up)
+		return
 	}
-	return &target{id: id, store: store, discovered: now}
+	t.raw.Record(at, up)
+}
+
+// estimate returns the target's current availability estimate.
+func (t *target) estimate(now time.Time) float64 {
+	if t.store != nil {
+		return t.store.Estimate(now)
+	}
+	return t.raw.Estimate(now)
+}
+
+// samples returns the number of recorded (retained) outcomes.
+func (t *target) samples() int {
+	if t.store != nil {
+		return t.store.Samples()
+	}
+	return t.raw.Samples()
 }
 
 // MonitorTick runs one monitoring period TA: it resolves last round's
@@ -51,18 +80,19 @@ func (n *Node) MonitorTick(now time.Time) {
 	if !n.alive {
 		return
 	}
-	for _, id := range n.tsOrder {
-		t := n.ts[id]
+	nowNanos := now.UnixNano()
+	for i := range n.tsOrder {
+		t := n.targets.at(n.tsSlots[i])
 		// 1. An unanswered probe from a previous round is a "down"
 		// observation.
 		if t.awaitingSeq != 0 {
 			t.awaitingSeq = 0
-			t.store.Record(now, false)
+			t.record(now, false)
 			if !t.down {
 				t.down = true
 				t.downSince = t.awaitingAt
 				if t.everAcked {
-					t.lastSession = t.lastAck.Sub(t.sessionStart)
+					t.lastSession = time.Duration(t.lastAck - t.sessionStart)
 				}
 			}
 		}
@@ -75,7 +105,7 @@ func (n *Node) MonitorTick(now time.Time) {
 		}
 		// 3. Decide whether to probe this round.
 		if n.cfg.Forgetful && t.down {
-			downFor := now.Sub(t.downSince)
+			downFor := time.Duration(nowNanos - t.downSince)
 			if downFor > n.cfg.ForgetfulTau {
 				ts := t.lastSession
 				if ts <= 0 {
@@ -95,28 +125,35 @@ func (n *Node) MonitorTick(now time.Time) {
 		}
 		// 4. Probe.
 		t.awaitingSeq = n.nextSeq()
-		t.awaitingAt = now
+		t.awaitingAt = nowNanos
 		t.pingsSent++
-		n.send(t.id, &Message{Type: MsgMonPing, Seq: t.awaitingSeq})
+		msg := n.newMsg()
+		msg.Type = MsgMonPing
+		msg.Seq = t.awaitingSeq
+		n.send(t.id, msg)
 	}
 }
 
 // handleMonAck folds a monitoring acknowledgment into the target's
 // history.
 func (n *Node) handleMonAck(from ids.ID, seq uint64, now time.Time) {
-	t, ok := n.ts[from]
-	if !ok || seq != t.awaitingSeq {
+	slot, ok := n.tsIdx.get(from)
+	if !ok {
+		return
+	}
+	t := n.targets.at(slot)
+	if seq != t.awaitingSeq {
 		return
 	}
 	t.awaitingSeq = 0
 	t.acks++
-	t.store.Record(now, true)
+	t.record(now, true)
 	if t.down || !t.everAcked {
-		t.sessionStart = now
+		t.sessionStart = now.UnixNano()
 		t.down = false
 	}
 	t.everAcked = true
-	t.lastAck = now
+	t.lastAck = now.UnixNano()
 }
 
 // EstimateOf returns this node's availability estimate for a node it
@@ -125,16 +162,17 @@ func (n *Node) handleMonAck(from ids.ID, seq uint64, now time.Time) {
 // monitor's ForgeReport hook gets the final word on what leaves the
 // node.
 func (n *Node) EstimateOf(u ids.ID) (float64, bool) {
-	t, ok := n.ts[u]
+	slot, ok := n.tsIdx.get(u)
 	if !ok {
 		return 0, false
 	}
+	t := n.targets.at(slot)
 	est, known := 0.0, false
 	switch {
 	case n.cfg.Overreport:
 		est, known = 1.0, true
-	case t.store.Samples() > 0:
-		est, known = t.store.Estimate(n.lastTickTime()), true
+	case t.samples() > 0:
+		est, known = t.estimate(n.lastTickTime()), true
 	}
 	if n.cfg.ForgeReport != nil {
 		return n.cfg.ForgeReport(u, est, known)
@@ -146,16 +184,20 @@ func (n *Node) EstimateOf(u ids.ID) (float64, bool) {
 // stores age relative to the most recent observation, for which the
 // last ack or probe time is the best proxy the node has.
 func (n *Node) lastTickTime() time.Time {
-	var latest time.Time
-	for _, t := range n.ts {
-		if t.awaitingAt.After(latest) {
+	var latest int64
+	for _, slot := range n.tsSlots {
+		t := n.targets.at(slot)
+		if t.awaitingAt > latest {
 			latest = t.awaitingAt
 		}
-		if t.lastAck.After(latest) {
+		if t.lastAck > latest {
 			latest = t.lastAck
 		}
 	}
-	return latest
+	if latest == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, latest)
 }
 
 // MonitoringStats summarizes the node's monitoring activity.
@@ -170,12 +212,13 @@ type MonitoringStats struct {
 // MonitoringStats returns a snapshot of monitoring activity counters.
 func (n *Node) MonitoringStats() MonitoringStats {
 	var s MonitoringStats
-	s.Targets = len(n.ts)
-	for _, t := range n.ts {
-		s.PingsSent += t.pingsSent
-		s.Acks += t.acks
-		s.PingsSaved += t.pingsSaved
-		s.PingsSuppressed += t.pingsSuppressed
+	s.Targets = len(n.tsOrder)
+	for _, slot := range n.tsSlots {
+		t := n.targets.at(slot)
+		s.PingsSent += uint64(t.pingsSent)
+		s.Acks += uint64(t.acks)
+		s.PingsSaved += uint64(t.pingsSaved)
+		s.PingsSuppressed += uint64(t.pingsSuppressed)
 	}
 	return s
 }

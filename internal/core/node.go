@@ -19,11 +19,17 @@ type Node struct {
 	joinedAt  time.Time
 	lastLeave time.Time
 
+	// PS and TS are struct-of-arrays (see DESIGN.md, "Memory diet"):
+	// dense order slices hold the membership in discovery order — the
+	// documented iteration order — with open-addressing index tables
+	// for O(1) lookup and the target state by value in a flat arena.
 	cv      *view
-	ps      map[ids.ID]time.Time // monitor → discovery time
-	ts      map[ids.ID]*target   // monitored node → state
-	tsOrder []ids.ID             // discovery order, for deterministic iteration
-	psOrder []ids.ID             // discovery order, for deterministic iteration
+	psIdx   idTable     // monitor → index into psOrder
+	tsIdx   idTable     // monitored node → arena slot
+	targets targetArena // by-value target state
+	tsSlots []uint32    // arena slot of the i-th discovered target
+	tsOrder []ids.ID    // discovery order, for deterministic iteration
+	psOrder []ids.ID    // discovery order, for deterministic iteration
 
 	// lastCoarseContact is the last time a message arrived that proves
 	// this node sits in some peer's coarse view (PING, CV-FETCH, a
@@ -46,11 +52,9 @@ type Node struct {
 
 	hashChecks uint64 // consistency-condition evaluations performed
 
-	// Scratch buffers for the per-period discovery sweep
-	// (handleCVResp), reused across rounds so the hot path is
-	// allocation-free at steady state. Valid only within one sweep.
-	sweepA, sweepB []ids.ID
-	aInB, bInA     []bool
+	// ownScratch backs sweepScratch when the owner does not supply a
+	// shared instance through Config.Scratch.
+	ownScratch SweepScratch
 
 	// onResponse, when set via SetResponseHandler, receives
 	// REPORT-RESP and AVAIL-RESP messages for application queries.
@@ -68,9 +72,38 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg: cfg,
 		id:  cfg.ID,
 		cv:  newView(cfg.CVS),
-		ps:  make(map[ids.ID]time.Time),
-		ts:  make(map[ids.ID]*target),
 	}, nil
+}
+
+// SweepScratch holds the reusable buffers of the discovery sweep
+// (handleCVResp) and the coarse-view reshuffle. The buffers carry no
+// information between calls, so one instance may serve every node
+// executing on the same worker thread (Config.Scratch) — which is how
+// million-node simulations avoid paying ~2 KB of scratch per node.
+type SweepScratch struct {
+	a, b       []ids.ID
+	aInB, bInA []bool
+	union      []ids.ID
+}
+
+// sweepScratch resolves the scratch instance for the current call:
+// the owner-supplied shared one, or the node's own.
+func (n *Node) sweepScratch() *SweepScratch {
+	if n.cfg.Scratch != nil {
+		if sc := n.cfg.Scratch(); sc != nil {
+			return sc
+		}
+	}
+	return &n.ownScratch
+}
+
+// newMsg returns a zeroed outgoing message envelope: pooled when the
+// owner supplies Config.AcquireMessage, freshly allocated otherwise.
+func (n *Node) newMsg() *Message {
+	if n.cfg.AcquireMessage != nil {
+		return n.cfg.AcquireMessage()
+	}
+	return &Message{}
 }
 
 // ID returns the node's identity.
@@ -124,8 +157,12 @@ func (n *Node) Join(now time.Time, bootstrap ids.ID) {
 			weight = 1
 		}
 	}
-	n.send(bootstrap, &Message{Type: MsgJoin, Subject: n.id, Weight: weight})
-	n.send(bootstrap, &Message{Type: MsgCVFetch, Seq: n.nextSeq()})
+	join := n.newMsg()
+	join.Type, join.Subject, join.Weight = MsgJoin, n.id, weight
+	n.send(bootstrap, join)
+	fetch := n.newMsg()
+	fetch.Type, fetch.Seq = MsgCVFetch, n.nextSeq()
+	n.send(bootstrap, fetch)
 	n.cv.add(bootstrap)
 }
 
@@ -137,8 +174,8 @@ func (n *Node) Leave(now time.Time) {
 	n.lastLeave = now
 	n.cvPingTarget = ids.None
 	// Outstanding monitoring probes die with us.
-	for _, t := range n.ts {
-		t.awaitingSeq = 0
+	for _, slot := range n.tsSlots {
+		n.targets.at(slot).awaitingSeq = 0
 	}
 }
 
@@ -157,21 +194,28 @@ func (n *Node) Handle(from ids.ID, m *Message, now time.Time) {
 		n.handleJoin(m)
 	case MsgPing:
 		n.lastCoarseContact = now
-		n.send(from, &Message{Type: MsgPong, Seq: m.Seq})
+		pong := n.newMsg()
+		pong.Type, pong.Seq = MsgPong, m.Seq
+		n.send(from, pong)
 	case MsgPong:
 		if from == n.cvPingTarget && m.Seq == n.cvPingSeq {
 			n.cvPingTarget = ids.None // liveness confirmed
 		}
 	case MsgCVFetch:
 		n.lastCoarseContact = now
-		n.send(from, &Message{Type: MsgCVResp, Seq: m.Seq, View: n.cv.snapshot()})
+		resp := n.newMsg()
+		resp.Type, resp.Seq = MsgCVResp, m.Seq
+		resp.View = n.cv.appendTo(resp.View[:0])
+		n.send(from, resp)
 	case MsgCVResp:
 		n.handleCVResp(from, m.View, now)
 	case MsgNotify:
 		n.handleNotify(m.U, m.V, now)
 	case MsgMonPing:
 		n.lastMonPingRecv = now
-		n.send(from, &Message{Type: MsgMonAck, Seq: m.Seq})
+		ack := n.newMsg()
+		ack.Type, ack.Seq = MsgMonAck, m.Seq
+		n.send(from, ack)
 	case MsgMonAck:
 		n.handleMonAck(from, m.Seq, now)
 	case MsgPR2:
@@ -253,7 +297,9 @@ func (n *Node) handleJoin(m *Message) {
 			if dst.IsNone() {
 				continue
 			}
-			n.send(dst, &Message{Type: MsgJoin, Subject: m.Subject, Weight: w})
+			fwd := n.newMsg()
+			fwd.Type, fwd.Subject, fwd.Weight = MsgJoin, m.Subject, w
+			n.send(dst, fwd)
 		}
 	}
 }
@@ -296,18 +342,28 @@ func (n *Node) Tick(now time.Time) {
 	if z := n.cv.random(n.cfg.Rand); !z.IsNone() {
 		n.cvPingTarget = z
 		n.cvPingSeq = n.nextSeq()
-		n.send(z, &Message{Type: MsgPing, Seq: n.cvPingSeq})
+		ping := n.newMsg()
+		ping.Type, ping.Seq = MsgPing, n.cvPingSeq
+		n.send(z, ping)
 	}
 	// 3. Fetch the coarse view of one random member; discovery and
 	// reshuffle happen when the response arrives.
 	if w := n.cv.random(n.cfg.Rand); !w.IsNone() {
-		n.send(w, &Message{Type: MsgCVFetch, Seq: n.nextSeq()})
+		fetch := n.newMsg()
+		fetch.Type, fetch.Seq = MsgCVFetch, n.nextSeq()
+		n.send(w, fetch)
 	}
 	// 4. PR2: if nobody has monitoring-pinged us for two protocol
 	// periods, force ourselves back into our members' coarse views.
+	// The membership is copied into sweep scratch first — sends must
+	// not iterate the live view, and the sweep buffers are free here.
 	if n.cfg.PR2 && now.Sub(n.lastMonPingRecv) >= 2*n.cfg.Period {
-		for _, member := range n.cv.snapshot() {
-			n.send(member, &Message{Type: MsgPR2})
+		sc := n.sweepScratch()
+		sc.a = n.cv.appendTo(sc.a[:0])
+		for _, member := range sc.a {
+			pr2 := n.newMsg()
+			pr2.Type = MsgPR2
+			n.send(member, pr2)
 		}
 		n.lastMonPingRecv = now // back off until the next 2 periods
 	}
@@ -336,8 +392,12 @@ func (n *Node) rebootstrap(now time.Time) {
 	// succeeds; its CV-RESP and the renewed indegree reset the clock
 	// for real.
 	n.lastCoarseContact = now
-	n.send(target, &Message{Type: MsgJoin, Subject: n.id, Weight: n.cfg.CVS})
-	n.send(target, &Message{Type: MsgCVFetch, Seq: n.nextSeq()})
+	join := n.newMsg()
+	join.Type, join.Subject, join.Weight = MsgJoin, n.id, n.cfg.CVS
+	n.send(target, join)
+	fetch := n.newMsg()
+	fetch.Type, fetch.Seq = MsgCVFetch, n.nextSeq()
+	n.send(target, fetch)
 	n.cv.add(target)
 }
 
@@ -390,20 +450,21 @@ func (n *Node) handleCVResp(w ids.ID, fetched []ids.ID, now time.Time) {
 		fetched = fetched[:maxSweepFetched]
 	}
 	// Build the two deduplicated sweep lists in reusable scratch.
-	a := n.cv.appendTo(n.sweepA[:0])
+	sc := n.sweepScratch()
+	a := n.cv.appendTo(sc.a[:0])
 	a = appendUniqueID(a, n.id)
 	a = appendUniqueID(a, w)
-	b := n.sweepB[:0]
+	b := sc.b[:0]
 	for _, id := range fetched {
 		b = appendUniqueID(b, id)
 	}
 	b = appendUniqueID(b, n.id)
 	b = appendUniqueID(b, w)
-	n.sweepA, n.sweepB = a, b
+	sc.a, sc.b = a, b
 
 	// Cross-membership flags: aInB[i] ⇔ a[i] ∈ b, bInA[j] ⇔ b[j] ∈ a.
-	aInB := resizeFalse(n.aInB, len(a))
-	bInA := resizeFalse(n.bInA, len(b))
+	aInB := resizeFalse(sc.aInB, len(a))
+	bInA := resizeFalse(sc.bInA, len(b))
 	for i, u := range a {
 		for j, v := range b {
 			if u == v {
@@ -412,7 +473,7 @@ func (n *Node) handleCVResp(w ids.ID, fetched []ids.ID, now time.Time) {
 			}
 		}
 	}
-	n.aInB, n.bInA = aInB, bInA
+	sc.aInB, sc.bInA = aInB, bInA
 
 	// The pair loop calls Related directly (no per-pair closure): at
 	// Θ(cvs²) pairs per response this is the simulation's hot loop.
@@ -444,7 +505,7 @@ func (n *Node) handleCVResp(w ids.ID, fetched []ids.ID, now time.Time) {
 		n.cv.add(w) // only grow into free space; never re-randomize
 		return
 	}
-	n.cv.reshuffle(fetched, w, n.id, n.cfg.Rand)
+	n.cv.reshuffle(fetched, w, n.id, n.cfg.Rand, &sc.union)
 }
 
 // notifyMatch handles a sweep hit: u ∈ PS(v). Tell u (it gains a
@@ -455,7 +516,9 @@ func (n *Node) notifyMatch(u, v ids.ID, now time.Time) {
 		if dst == n.id {
 			n.handleNotify(u, v, now)
 		} else {
-			n.send(dst, &Message{Type: MsgNotify, U: u, V: v})
+			notify := n.newMsg()
+			notify.Type, notify.U, notify.V = MsgNotify, u, v
+			n.send(dst, notify)
 		}
 	}
 }
@@ -464,29 +527,35 @@ func (n *Node) notifyMatch(u, v ids.ID, now time.Time) {
 // (Section 3.3): the consistency condition is re-checked, so forged
 // notifications are harmless.
 func (n *Node) handleNotify(u, v ids.ID, now time.Time) {
+	if u.IsNone() || v.IsNone() {
+		return // a forged pair naming nobody is meaningless
+	}
 	switch n.id {
 	case v:
-		if _, known := n.ps[u]; known {
+		if _, known := n.psIdx.get(u); known {
 			return
 		}
 		n.hashChecks++
 		if !n.cfg.Scheme.Related(u, v) {
 			return
 		}
-		n.ps[u] = now
-		n.psOrder = append(n.psOrder, u)
+		n.psIdx.put(u, uint32(len(n.psOrder)))
+		n.psOrder = appendChunked(n.psOrder, u)
 		since := now.Sub(n.bornAt)
-		n.psDiscoveries = append(n.psDiscoveries, since)
+		n.psDiscoveries = appendChunked(n.psDiscoveries, since)
 	case u:
-		if _, known := n.ts[v]; known {
+		if _, known := n.tsIdx.get(v); known {
 			return
 		}
 		n.hashChecks++
 		if !n.cfg.Scheme.Related(u, v) {
 			return
 		}
-		n.ts[v] = newTarget(v, n.cfg.HistoryStyle, now)
-		n.tsOrder = append(n.tsOrder, v)
+		slot := n.targets.alloc()
+		n.targets.at(slot).init(v, n.cfg.HistoryStyle, now)
+		n.tsIdx.put(v, slot)
+		n.tsOrder = appendChunked(n.tsOrder, v)
+		n.tsSlots = appendChunked(n.tsSlots, slot)
 	}
 }
 
@@ -494,20 +563,16 @@ func (n *Node) handleNotify(u, v ids.ID, now time.Time) {
 
 // PS returns the node's current pinging set (its monitors).
 func (n *Node) PS() []ids.ID {
-	out := make([]ids.ID, 0, len(n.ps))
-	for id := range n.ps {
-		out = append(out, id)
-	}
+	out := make([]ids.ID, len(n.psOrder))
+	copy(out, n.psOrder)
 	ids.Sort(out)
 	return out
 }
 
 // TS returns the node's current target set (the nodes it monitors).
 func (n *Node) TS() []ids.ID {
-	out := make([]ids.ID, 0, len(n.ts))
-	for id := range n.ts {
-		out = append(out, id)
-	}
+	out := make([]ids.ID, len(n.tsOrder))
+	copy(out, n.tsOrder)
 	ids.Sort(out)
 	return out
 }
@@ -516,7 +581,7 @@ func (n *Node) TS() []ids.ID {
 func (n *Node) CV() []ids.ID { return n.cv.snapshot() }
 
 // MemoryEntries is the paper's memory metric |CV|+|PS|+|TS|.
-func (n *Node) MemoryEntries() int { return n.cv.size() + len(n.ps) + len(n.ts) }
+func (n *Node) MemoryEntries() int { return n.cv.size() + len(n.psOrder) + len(n.tsOrder) }
 
 // HashChecks returns how many consistency-condition evaluations the
 // node has performed (the computation metric C).

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"avmon/internal/ids"
+)
+
+// discoveryOracle is the pre-flat-table PS/TS implementation — a
+// membership map plus an append-only discovery-order slice — kept here
+// as the reference the struct-of-arrays layout is diffed against. The
+// documented contract (node.go) is that psOrder/tsOrder list members
+// in exact discovery order; rebootstrap target choice and the
+// DiscoveryTimes figure depend on it.
+type discoveryOracle struct {
+	self    ids.ID
+	related func(u, v ids.ID) bool
+
+	ps      map[ids.ID]struct{}
+	psOrder []ids.ID
+	ts      map[ids.ID]struct{}
+	tsOrder []ids.ID
+}
+
+func newDiscoveryOracle(self ids.ID, related func(u, v ids.ID) bool) *discoveryOracle {
+	return &discoveryOracle{
+		self:    self,
+		related: related,
+		ps:      make(map[ids.ID]struct{}),
+		ts:      make(map[ids.ID]struct{}),
+	}
+}
+
+// notify mirrors Node.handleNotify's membership logic on the map
+// implementation.
+func (o *discoveryOracle) notify(u, v ids.ID) {
+	if u.IsNone() || v.IsNone() {
+		return
+	}
+	switch o.self {
+	case v:
+		if _, known := o.ps[u]; known || !o.related(u, v) {
+			return
+		}
+		o.ps[u] = struct{}{}
+		o.psOrder = append(o.psOrder, u)
+	case u:
+		if _, known := o.ts[v]; known || !o.related(u, v) {
+			return
+		}
+		o.ts[v] = struct{}{}
+		o.tsOrder = append(o.tsOrder, v)
+	}
+}
+
+func sameIDSeq(a, b []ids.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDiscoveryOrderMatchesMapOracle drives a node with a long random
+// NOTIFY stream — duplicates, self pairs, forged Nones, unrelated
+// pairs — and asserts after every message that the flat-table psOrder
+// and tsOrder equal the map+order-slice oracle element for element.
+func TestDiscoveryOrderMatchesMapOracle(t *testing.T) {
+	fn := newFakeNet(t)
+	self := ids.Sim(0)
+	// An even/odd scheme: exercises the re-check path (unrelated pairs
+	// must be rejected) with a deterministic, symmetric-free predicate.
+	related := func(u, v ids.ID) bool {
+		if u == v || u.IsNone() || v.IsNone() {
+			return false
+		}
+		return (uint64(u)+uint64(v))%3 != 0
+	}
+	n := fn.addNode(0, predicateScheme{related}, nil)
+	n.Join(fn.now, ids.None)
+	oracle := newDiscoveryOracle(self, related)
+
+	rng := rand.New(rand.NewSource(71))
+	pool := make([]ids.ID, 40)
+	for i := range pool {
+		pool[i] = ids.Sim(i) // includes self at index 0
+	}
+	pool = append(pool, ids.None)
+
+	msg := &Message{Type: MsgNotify}
+	for op := 0; op < 8000; op++ {
+		u := pool[rng.Intn(len(pool))]
+		v := pool[rng.Intn(len(pool))]
+		// Bias half the traffic onto pairs involving self, else almost
+		// every message is a no-op for this node.
+		if rng.Intn(2) == 0 {
+			if rng.Intn(2) == 0 {
+				u = self
+			} else {
+				v = self
+			}
+		}
+		msg.U, msg.V = u, v
+		n.Handle(ids.Sim(1+rng.Intn(39)), msg, fn.now)
+		oracle.notify(u, v)
+
+		if !sameIDSeq(n.psOrder, oracle.psOrder) {
+			t.Fatalf("op %d NOTIFY(%v,%v): psOrder %v, oracle %v", op, u, v, n.psOrder, oracle.psOrder)
+		}
+		if !sameIDSeq(n.tsOrder, oracle.tsOrder) {
+			t.Fatalf("op %d NOTIFY(%v,%v): tsOrder %v, oracle %v", op, u, v, n.tsOrder, oracle.tsOrder)
+		}
+	}
+
+	// The index tables agree with the order slices: psIdx positions are
+	// the discovery ranks, tsIdx slots resolve to the right targets in
+	// tsOrder sequence.
+	for i, id := range n.psOrder {
+		if pos, ok := n.psIdx.get(id); !ok || pos != uint32(i) {
+			t.Errorf("psIdx[%v] = %d, %v; want rank %d", id, pos, ok, i)
+		}
+	}
+	if n.psIdx.len() != len(n.psOrder) {
+		t.Errorf("psIdx holds %d entries, psOrder %d", n.psIdx.len(), len(n.psOrder))
+	}
+	for i, id := range n.tsOrder {
+		slot, ok := n.tsIdx.get(id)
+		if !ok || slot != n.tsSlots[i] {
+			t.Errorf("tsIdx[%v] = %d, %v; want slot %d", id, slot, ok, n.tsSlots[i])
+		}
+		if got := n.targets.at(slot).id; got != id {
+			t.Errorf("arena slot %d holds %v, want %v", slot, got, id)
+		}
+	}
+	if n.tsIdx.len() != len(n.tsOrder) {
+		t.Errorf("tsIdx holds %d entries, tsOrder %d", n.tsIdx.len(), len(n.tsOrder))
+	}
+	if len(oracle.psOrder) == 0 || len(oracle.tsOrder) == 0 {
+		t.Fatal("degenerate run: the stream discovered nothing")
+	}
+	// The sorted public views agree with the oracle membership too.
+	wantPS := append([]ids.ID(nil), oracle.psOrder...)
+	ids.Sort(wantPS)
+	if !sameIDSeq(n.PS(), wantPS) {
+		t.Errorf("PS() = %v, oracle %v", n.PS(), wantPS)
+	}
+	wantTS := append([]ids.ID(nil), oracle.tsOrder...)
+	ids.Sort(wantTS)
+	if !sameIDSeq(n.TS(), wantTS) {
+		t.Errorf("TS() = %v, oracle %v", n.TS(), wantTS)
+	}
+}
+
+// predicateScheme adapts a func to SelectionScheme for tests.
+type predicateScheme struct {
+	fn func(u, v ids.ID) bool
+}
+
+func (p predicateScheme) Related(y, x ids.ID) bool { return p.fn(y, x) }
+func (p predicateScheme) K() int                   { return 1 }

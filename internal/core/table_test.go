@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"avmon/internal/ids"
+)
+
+// oracleOp applies one churn operation to both the open-addressing
+// table and the map oracle, and checks that their answers agree.
+func oracleOp(t *testing.T, tab *idTable, oracle map[ids.ID]uint32, op int, id ids.ID, val uint32) {
+	t.Helper()
+	switch op {
+	case 0: // put (insert or overwrite)
+		tab.put(id, val)
+		oracle[id] = val
+	case 1: // del
+		_, inOracle := oracle[id]
+		if got := tab.del(id); got != inOracle {
+			t.Fatalf("del(%v) = %v, oracle %v", id, got, inOracle)
+		}
+		delete(oracle, id)
+	}
+	got, ok := tab.get(id)
+	want, inOracle := oracle[id]
+	if ok != inOracle || (ok && got != want) {
+		t.Fatalf("get(%v) = %d, %v; oracle %d, %v", id, got, ok, want, inOracle)
+	}
+	if tab.len() != len(oracle) {
+		t.Fatalf("len = %d, oracle %d", tab.len(), len(oracle))
+	}
+}
+
+// oracleSweep cross-checks every key the oracle holds, plus a few the
+// table must not hold.
+func oracleSweep(t *testing.T, tab *idTable, oracle map[ids.ID]uint32, absent []ids.ID) {
+	t.Helper()
+	for id, want := range oracle {
+		if got, ok := tab.get(id); !ok || got != want {
+			t.Fatalf("get(%v) = %d, %v; oracle holds %d", id, got, ok, want)
+		}
+	}
+	for _, id := range absent {
+		if _, inOracle := oracle[id]; inOracle {
+			continue
+		}
+		if _, ok := tab.get(id); ok {
+			t.Fatalf("get(%v) found a deleted/never-inserted key", id)
+		}
+	}
+}
+
+// TestIDTableMatchesMapOracle churns the open-addressing table with a
+// put/overwrite/delete mix over a small dense key space — Sim
+// identities share high bits, so probe chains collide constantly and
+// the backward-shift deletion path runs on most deletes.
+func TestIDTableMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	pool := make([]ids.ID, 96)
+	for i := range pool {
+		pool[i] = ids.Sim(i)
+	}
+	var tab idTable
+	oracle := make(map[ids.ID]uint32)
+	for op := 0; op < 20000; op++ {
+		id := pool[rng.Intn(len(pool))]
+		// 60% puts so the table repeatedly fills, grows, and drains.
+		kind := 0
+		if rng.Intn(10) >= 6 {
+			kind = 1
+		}
+		oracleOp(t, &tab, oracle, kind, id, uint32(rng.Intn(1<<16)))
+		if op%500 == 0 {
+			oracleSweep(t, &tab, oracle, pool)
+		}
+	}
+	oracleSweep(t, &tab, oracle, pool)
+}
+
+func TestIDTableZeroValue(t *testing.T) {
+	var tab idTable
+	if _, ok := tab.get(ids.Sim(1)); ok {
+		t.Error("get on empty table found a key")
+	}
+	if tab.del(ids.Sim(1)) {
+		t.Error("del on empty table reported a removal")
+	}
+	if tab.len() != 0 {
+		t.Errorf("len = %d, want 0", tab.len())
+	}
+}
+
+func TestIDTableNoneKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("put(None) did not panic")
+		}
+	}()
+	var tab idTable
+	tab.put(ids.None, 1)
+}
+
+// FuzzIDTableChurn feeds arbitrary operation tapes through the table
+// against the map oracle: each 2-byte step encodes (op, key), keys are
+// drawn from a 48-identity dense pool to force collisions, and every
+// step cross-checks get/len. The interesting space is deletion order —
+// backward-shift compaction must never strand or duplicate an entry.
+func FuzzIDTableChurn(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 0, 3, 1, 2, 1, 3})
+	f.Add([]byte{0, 0, 0, 16, 0, 32, 1, 0, 1, 16, 1, 32})
+	tape := make([]byte, 0, 96)
+	for i := 0; i < 48; i++ {
+		tape = append(tape, 0, byte(i)) // fill…
+	}
+	for i := 0; i < 48; i += 2 {
+		tape = append(tape, 1, byte(i)) // …then drain every other key
+	}
+	f.Add(tape)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tab idTable
+		oracle := make(map[ids.ID]uint32)
+		for i := 0; i+1 < len(data); i += 2 {
+			op := int(data[i]) % 2
+			id := ids.Sim(int(data[i+1]) % 48)
+			oracleOp(t, &tab, oracle, op, id, uint32(i))
+		}
+		pool := make([]ids.ID, 48)
+		for i := range pool {
+			pool[i] = ids.Sim(i)
+		}
+		oracleSweep(t, &tab, oracle, pool)
+	})
+}
+
+func TestTargetArenaFreelistReuse(t *testing.T) {
+	var a targetArena
+	s0, s1, s2 := a.alloc(), a.alloc(), a.alloc()
+	if s0 != 0 || s1 != 1 || s2 != 2 {
+		t.Fatalf("fresh slots = %d,%d,%d, want 0,1,2", s0, s1, s2)
+	}
+	now := time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC)
+	a.at(s1).init(ids.Sim(7), "raw", now)
+	a.at(s1).pingsSent = 42
+	a.release(s1)
+	if got := a.at(s1).pingsSent; got != 0 {
+		t.Errorf("released slot retains pingsSent = %d", got)
+	}
+	// The freelist must hand the released slot back, zeroed.
+	s3 := a.alloc()
+	if s3 != s1 {
+		t.Errorf("alloc after release = %d, want reused slot %d", s3, s1)
+	}
+	if got := *a.at(s3); got != (target{}) {
+		t.Errorf("reused slot not zeroed: %+v", got)
+	}
+	// Neighbors are untouched by release/reuse.
+	if a.at(s0).id != ids.None || a.at(s2).id != ids.None {
+		t.Error("release disturbed neighboring slots")
+	}
+	if s4 := a.alloc(); s4 != 3 {
+		t.Errorf("alloc with empty freelist = %d, want 3", s4)
+	}
+}
+
+// TestTargetInitStyles pins the inline-raw optimization: the default
+// style must not allocate a Store, every other known style must.
+func TestTargetInitStyles(t *testing.T) {
+	now := time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC)
+	var raw target
+	raw.init(ids.Sim(1), "raw", now)
+	if raw.store != nil {
+		t.Error(`init("raw") allocated a Store`)
+	}
+	if raw.discovered != now.UnixNano() {
+		t.Errorf("discovered = %d, want %d", raw.discovered, now.UnixNano())
+	}
+	raw.record(now, true)
+	raw.record(now.Add(time.Minute), false)
+	if got := raw.estimate(now.Add(time.Minute)); got != 0.5 {
+		t.Errorf("raw estimate = %v, want 0.5", got)
+	}
+	var recent target
+	recent.init(ids.Sim(2), "recent:1h", now)
+	if recent.store == nil {
+		t.Error(`init("recent:1h") left the Store nil`)
+	}
+}

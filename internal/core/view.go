@@ -115,31 +115,37 @@ func (v *view) appendTo(dst []ids.ID) []ids.ID {
 
 func (v *view) clear() { v.items = v.items[:0] }
 
+// appendUniqueNonSelf appends id to dst unless it is None, self, or
+// already present (linear scan; union lists stay below ~2·cvs).
+func appendUniqueNonSelf(dst []ids.ID, id, self ids.ID) []ids.ID {
+	if id.IsNone() || id == self {
+		return dst
+	}
+	for _, e := range dst {
+		if e == id {
+			return dst
+		}
+	}
+	return append(dst, id)
+}
+
 // reshuffle replaces the view with up to max random entries drawn from
 // the union of the current view, the fetched view, and {w}, excluding
 // self (Figure 2, last two lines). The union is deduplicated with
 // linear scans — both inputs are small and (by invariant) internally
-// unique, so only cross-membership needs checking.
-func (v *view) reshuffle(fetched []ids.ID, w, self ids.ID, rng *rand.Rand) {
-	union := make([]ids.ID, 0, len(v.items)+len(fetched)+1)
-	appendOne := func(id ids.ID) {
-		if id.IsNone() || id == self {
-			return
-		}
-		for _, e := range union {
-			if e == id {
-				return
-			}
-		}
-		union = append(union, id)
-	}
+// unique, so only cross-membership needs checking. It is built in
+// *scratch (grown as needed, capacity retained across calls) so the
+// per-period reshuffle allocates nothing at steady state.
+func (v *view) reshuffle(fetched []ids.ID, w, self ids.ID, rng *rand.Rand, scratch *[]ids.ID) {
+	union := (*scratch)[:0]
 	for _, id := range v.items {
-		appendOne(id)
+		union = appendUniqueNonSelf(union, id, self)
 	}
 	for _, id := range fetched {
-		appendOne(id)
+		union = appendUniqueNonSelf(union, id, self)
 	}
-	appendOne(w)
+	union = appendUniqueNonSelf(union, w, self)
+	*scratch = union
 	// Partial Fisher-Yates: choose max entries uniformly at random.
 	k := v.max
 	if k > len(union) {

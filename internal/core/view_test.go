@@ -109,7 +109,8 @@ func TestViewReshuffleInvariants(t *testing.T) {
 		union[w] = struct{}{}
 		delete(union, self)
 
-		v.reshuffle(fetched, w, self, rng)
+		var scratch []ids.ID
+		v.reshuffle(fetched, w, self, rng, &scratch)
 
 		if v.size() > max {
 			return false
@@ -150,7 +151,8 @@ func TestViewReshuffleUniform(t *testing.T) {
 		for i := 0; i < 19; i++ {
 			fetched = append(fetched, ids.Sim(i))
 		}
-		v.reshuffle(fetched, ids.Sim(19), ids.Sim(999), rng)
+		var scratch []ids.ID
+		v.reshuffle(fetched, ids.Sim(19), ids.Sim(999), rng, &scratch)
 		for _, id := range v.snapshot() {
 			counts[id]++
 		}

@@ -483,6 +483,7 @@ type chaosArtifact struct {
 	StepSeconds float64      `json:"step_seconds"`
 	FaultStartS float64      `json:"fault_start_seconds"`
 	FaultEndS   float64      `json:"fault_end_seconds"`
+	Host        HostStats    `json:"host"`
 	Points      []ChaosPoint `json:"points"`
 }
 
@@ -570,6 +571,7 @@ func Chaos(o Options) (*Result, error) {
 		StepSeconds: tl.step.Seconds(),
 		FaultStartS: tl.faultStart.Seconds(),
 		FaultEndS:   tl.faultEnd.Seconds(),
+		Host:        collectHostStats(),
 		Points:      flat,
 	}, "", "  ")
 	if err != nil {

@@ -440,6 +440,7 @@ type queryArtifact struct {
 	WarmupSeconds float64      `json:"warmup_seconds"`
 	Batches       []int        `json:"batches"`
 	Proto         chaosProto   `json:"proto"`
+	Host          HostStats    `json:"host"`
 	Points        []QueryPoint `json:"points"`
 }
 
@@ -548,6 +549,7 @@ func Query(o Options) (*Result, error) {
 		WarmupSeconds: warmup.Seconds(),
 		Batches:       queryBatchSizes,
 		Proto:         protos[0],
+		Host:          collectHostStats(),
 		Points:        pts,
 	}, "", "  ")
 	if err != nil {

@@ -131,6 +131,7 @@ type realnetArtifact struct {
 	GOMAXPROCS    int               `json:"gomaxprocs"`
 	Deterministic bool              `json:"deterministic"` // always false: half is wall clock
 	Tolerances    RealnetTolerances `json:"tolerances"`
+	Host          HostStats         `json:"host"`
 	Points        []RealnetPoint    `json:"points"`
 }
 
@@ -527,6 +528,7 @@ func Realnet(o Options) (*Result, error) {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Deterministic: false,
 		Tolerances:    tol,
+		Host:          collectHostStats(),
 		Points:        pts,
 	}, "", "  ")
 	if err != nil {

@@ -82,6 +82,7 @@ type skewArtifact struct {
 	Shards     int         `json:"shards"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	HostCores  int         `json:"host_cores,omitempty"`
+	Host       HostStats   `json:"host"`
 	Points     []SkewPoint `json:"points"`
 }
 
@@ -181,6 +182,7 @@ func Skew(o Options) (*Result, error) {
 		Shards:     shards,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
+		Host:       collectHostStats(),
 		Points:     pts,
 	}, "", "  ")
 	if err != nil {

@@ -77,6 +77,7 @@ type wanArtifact struct {
 	N          int        `json:"n"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	HostCores  int        `json:"host_cores,omitempty"`
+	Host       HostStats  `json:"host"`
 	Points     []WanPoint `json:"points"`
 }
 
@@ -226,6 +227,7 @@ func Wan(o Options) (*Result, error) {
 		N:          n,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
+		Host:       collectHostStats(),
 		Points:     pts,
 	}, "", "  ")
 	if err != nil {

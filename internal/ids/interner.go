@@ -1,0 +1,68 @@
+package ids
+
+// Interner assigns dense uint32 indexes to identities, so hot-path
+// state for a simulated population can be keyed by small contiguous
+// integers (slice indexes) instead of by the identities themselves.
+//
+// The common case — the simulator's synthetic 10.0.0.0/8 population
+// (see Sim) — resolves through a flat slice indexed by the node
+// number, with no hashing at all; identities outside that range fall
+// back to a small map. Indexes are assigned in interning order,
+// starting at 0, and are never reused or invalidated.
+//
+// The zero value is ready to use. An Interner is not safe for
+// concurrent mutation; the owner serializes Intern calls (the
+// simulated network interns only from control-lane events), while
+// Index and ID are safe to call concurrently with each other once
+// interning is quiescent.
+type Interner struct {
+	sim    []uint32      // Sim node number → interned index + 1 (0 = unassigned)
+	others map[ID]uint32 // non-simulated identities (lazily built)
+	byIdx  []ID          // interned index → identity
+}
+
+// Intern returns the dense index for id, assigning the next free index
+// on first sight. Interning None is a programming error and panics.
+func (in *Interner) Intern(id ID) uint32 {
+	if id.IsNone() {
+		panic("ids: cannot intern the None identity")
+	}
+	if idx, ok := in.Index(id); ok {
+		return idx
+	}
+	idx := uint32(len(in.byIdx))
+	in.byIdx = append(in.byIdx, id)
+	if si, ok := SimIndex(id); ok {
+		for len(in.sim) <= si {
+			in.sim = append(in.sim, 0)
+		}
+		in.sim[si] = idx + 1
+	} else {
+		if in.others == nil {
+			in.others = make(map[ID]uint32)
+		}
+		in.others[id] = idx
+	}
+	return idx
+}
+
+// Index returns the dense index previously assigned to id; ok is false
+// when id has never been interned.
+func (in *Interner) Index(id ID) (uint32, bool) {
+	if si, ok := SimIndex(id); ok {
+		if si < len(in.sim) && in.sim[si] != 0 {
+			return in.sim[si] - 1, true
+		}
+		return 0, false
+	}
+	idx, ok := in.others[id]
+	return idx, ok
+}
+
+// ID returns the identity interned at index idx. It panics when idx
+// has never been assigned.
+func (in *Interner) ID(idx uint32) ID { return in.byIdx[idx] }
+
+// Len returns the number of interned identities; valid indexes are
+// [0, Len).
+func (in *Interner) Len() int { return len(in.byIdx) }

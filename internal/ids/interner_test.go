@@ -1,0 +1,93 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInternerAssignsDenseIndexes(t *testing.T) {
+	var in Interner
+	want := []ID{Sim(5), MustParse("192.168.1.9:7000"), Sim(0), Sim(1 << 20)}
+	for i, id := range want {
+		if got := in.Intern(id); got != uint32(i) {
+			t.Fatalf("Intern(%v) = %d, want %d", id, got, i)
+		}
+	}
+	if in.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", in.Len(), len(want))
+	}
+	// Idempotence and roundtrip.
+	for i, id := range want {
+		if got := in.Intern(id); got != uint32(i) {
+			t.Errorf("re-Intern(%v) = %d, want %d", id, got, i)
+		}
+		if got, ok := in.Index(id); !ok || got != uint32(i) {
+			t.Errorf("Index(%v) = %d, %v, want %d, true", id, got, ok, i)
+		}
+		if got := in.ID(uint32(i)); got != id {
+			t.Errorf("ID(%d) = %v, want %v", i, got, id)
+		}
+	}
+	if _, ok := in.Index(Sim(7)); ok {
+		t.Error("Index of a never-interned Sim ID reported ok")
+	}
+	if _, ok := in.Index(MustParse("1.2.3.4:5")); ok {
+		t.Error("Index of a never-interned non-Sim ID reported ok")
+	}
+}
+
+func TestInternerNonePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intern(None) did not panic")
+		}
+	}()
+	var in Interner
+	in.Intern(None)
+}
+
+// TestInternerMatchesMapOracle drives the fast-path (Sim) and fallback
+// (arbitrary identity) branches with a random interleaving of fresh and
+// repeated interns, against the obvious map implementation.
+func TestInternerMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pool := make([]ID, 0, 128)
+	for i := 0; i < 64; i++ {
+		pool = append(pool, Sim(rng.Intn(1<<22)))
+	}
+	for i := 0; i < 64; i++ {
+		id := New(byte(1+rng.Intn(255)), byte(rng.Intn(256)), byte(rng.Intn(256)),
+			byte(rng.Intn(256)), uint16(rng.Intn(1<<16)))
+		pool = append(pool, id)
+	}
+
+	var in Interner
+	oracle := make(map[ID]uint32)
+	var order []ID
+	for op := 0; op < 4096; op++ {
+		id := pool[rng.Intn(len(pool))]
+		if id.IsNone() {
+			continue
+		}
+		wantIdx, seen := oracle[id]
+		if !seen {
+			wantIdx = uint32(len(order))
+			oracle[id] = wantIdx
+			order = append(order, id)
+		}
+		if got := in.Intern(id); got != wantIdx {
+			t.Fatalf("op %d: Intern(%v) = %d, oracle %d (seen=%v)", op, id, got, wantIdx, seen)
+		}
+	}
+	if in.Len() != len(order) {
+		t.Fatalf("Len = %d, oracle %d", in.Len(), len(order))
+	}
+	for idx, id := range order {
+		if got := in.ID(uint32(idx)); got != id {
+			t.Errorf("ID(%d) = %v, oracle %v", idx, got, id)
+		}
+		if got, ok := in.Index(id); !ok || got != uint32(idx) {
+			t.Errorf("Index(%v) = %d, %v, oracle %d", id, got, ok, idx)
+		}
+	}
+}

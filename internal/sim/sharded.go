@@ -46,6 +46,7 @@ type ShardedEngine struct {
 	batch   *windowBatch
 	inPhase bool
 	done    chan struct{}
+	localFn func() any
 
 	// Scheduler counters (see SchedStats) and the sliding load window
 	// behind rebalancing.
@@ -71,6 +72,7 @@ type shard struct {
 	outbox      [][]event // per destination shard, drained at barriers
 	start       chan struct{}
 	panicked    any // recovered panic value, re-raised by the coordinator
+	local       any // worker-local scratch (see Sched.WorkerLocal)
 }
 
 var _ Sched = (*ShardedEngine)(nil)
@@ -213,6 +215,11 @@ func (e *ShardedEngine) LaneNow(l *Lane) time.Time {
 // after a deterministic check against the destination's execution
 // frontier — otherwise.
 func (e *ShardedEngine) Post(src, dst *Lane, at time.Time, fn func(now time.Time)) {
+	e.PostEvent(src, dst, at, funcHandler{}, EventArg{P: fn})
+}
+
+// PostEvent implements Sched; see Post for the routing rules.
+func (e *ShardedEngine) PostEvent(src, dst *Lane, at time.Time, h Handler, arg EventArg) {
 	if src == nil {
 		src = e.control
 	}
@@ -228,7 +235,7 @@ func (e *ShardedEngine) Post(src, dst *Lane, at time.Time, fn func(now time.Time
 			nanos = e.controlNow
 		}
 		src.seq++
-		ev := event{at: nanos, lane: dst.id, src: 0, seq: src.seq, fn: fn}
+		ev := event{at: nanos, lane: dst.id, src: 0, seq: src.seq, h: h, arg: arg}
 		if dst.id == 0 {
 			e.controlQ.push(ev)
 		} else {
@@ -251,7 +258,7 @@ func (e *ShardedEngine) Post(src, dst *Lane, at time.Time, fn func(now time.Time
 		nanos = floor
 	}
 	src.seq++
-	ev := event{at: nanos, lane: dst.id, src: src.id, seq: src.seq, fn: fn}
+	ev := event{at: nanos, lane: dst.id, src: src.id, seq: src.seq, h: h, arg: arg}
 	if dst.shard == src.shard || !e.inPhase {
 		// Same shard, or a quiescent post (e.g. a test sending between
 		// Run calls): the destination heap is safe to touch directly.
@@ -266,6 +273,24 @@ func (e *ShardedEngine) Post(src, dst *Lane, at time.Time, fn func(now time.Time
 	}
 	s.posted = true
 	s.outbox[dst.shard] = append(s.outbox[dst.shard], ev)
+}
+
+// SetWorkerLocal implements Sched: each shard worker gets its own
+// instance, created lazily on the worker's first use.
+func (e *ShardedEngine) SetWorkerLocal(factory func() any) { e.localFn = factory }
+
+// WorkerLocal implements Sched. A lane's worker is its owning shard;
+// the instance is created on the shard's own first access, so no
+// cross-shard synchronization is needed. Lane migration at a barrier
+// simply resolves to the new shard's instance — worker-local state
+// never carries information between events, so the switch is
+// unobservable.
+func (e *ShardedEngine) WorkerLocal(l *Lane) any {
+	s := e.shards[l.shard]
+	if s.local == nil && e.localFn != nil {
+		s.local = e.localFn()
+	}
+	return s.local
 }
 
 // At schedules fn on the control lane at virtual time t.
@@ -367,7 +392,7 @@ func (e *ShardedEngine) RunUntil(deadline time.Time) {
 			ev := e.controlQ.pop()
 			e.controlNow = ev.at
 			e.steps++
-			ev.fn(Epoch.Add(time.Duration(ev.at)))
+			ev.fire(Epoch.Add(time.Duration(ev.at)))
 		}
 		// Hand every shard its horizon: no window may reach the next
 		// undrained control event or cross the deadline.
@@ -469,7 +494,7 @@ func (e *ShardedEngine) runShardWindow(s *shard) {
 		s.nowNanos = ev.at
 		s.steps++
 		lanes[ev.lane].execs++
-		ev.fn(Epoch.Add(time.Duration(ev.at)))
+		ev.fire(Epoch.Add(time.Duration(ev.at)))
 	}
 	s.busyNS += int64(time.Since(t0))
 }

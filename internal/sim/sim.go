@@ -105,6 +105,22 @@ type Sched interface {
 	// (nil src means the control lane). Times before the source lane's
 	// current time are clamped to it. fn receives its own timestamp.
 	Post(src, dst *Lane, at time.Time, fn func(now time.Time))
+	// PostEvent is the allocation-free form of Post: instead of a
+	// closure it schedules a long-lived Handler with a by-value
+	// EventArg, both stored directly in the heap entry. Ordering and
+	// clamping semantics are identical to Post.
+	PostEvent(src, dst *Lane, at time.Time, h Handler, arg EventArg)
+	// SetWorkerLocal registers a factory for per-worker scratch state:
+	// one instance per execution worker (the whole engine when serial,
+	// one per shard when sharded), created on first use. Worker-local
+	// state must never carry information between events — it exists so
+	// per-event scratch buffers need not be owned (and paid for) by
+	// every lane.
+	SetWorkerLocal(factory func() any)
+	// WorkerLocal returns the scratch instance of the worker currently
+	// executing lane l. Call only from l's own events (or while
+	// quiescent). Returns nil when no factory is registered.
+	WorkerLocal(l *Lane) any
 	// After schedules fn on the control lane d from now.
 	After(d time.Duration, fn func())
 	// At schedules fn on the control lane at time t.
@@ -123,14 +139,44 @@ type Sched interface {
 	RunFor(d time.Duration)
 }
 
+// EventArg is the by-value payload of a handler-based event (see
+// PostEvent). A and B are free payload words; P carries a pointer-shaped
+// value (a message, a buffer) without forcing the poster to allocate a
+// closure around it.
+type EventArg struct {
+	A, B uint64
+	P    any
+}
+
+// Handler executes handler-based events. Implementations are typically
+// long-lived objects (a network, a ticker) so that posting an event
+// allocates nothing: the event stores the handler interface and its
+// by-value EventArg directly in the heap entry.
+type Handler interface {
+	Fire(now time.Time, arg EventArg)
+}
+
+// funcHandler adapts the closure-based Post API onto handler events: a
+// zero-size type whose interface value costs no allocation, with the
+// closure riding in EventArg.P.
+type funcHandler struct{}
+
+func (funcHandler) Fire(now time.Time, arg EventArg) {
+	arg.P.(func(now time.Time))(now)
+}
+
 // event is one scheduled callback, stored by value in the heaps.
 type event struct {
 	at   int64 // nanoseconds since Epoch
 	lane int32 // destination lane
 	src  int32 // posting lane
 	seq  uint64
-	fn   func(now time.Time)
+	h    Handler
+	arg  EventArg
 }
+
+// fire executes the event's handler.
+func (ev *event) fire(now time.Time) { ev.h.Fire(now, ev.arg) }
 
 // before is the canonical total order: time, then destination lane,
 // then lane-local posts before cross-lane posts, then posting lane,
@@ -164,6 +210,9 @@ type Engine struct {
 	lanes    int32
 	steps    uint64
 	seed     int64
+
+	localFn func() any
+	local   any
 }
 
 var _ Sched = (*Engine)(nil)
@@ -205,6 +254,11 @@ func (e *Engine) LaneNow(*Lane) time.Time { return e.now }
 
 // Post implements Sched.
 func (e *Engine) Post(src, dst *Lane, at time.Time, fn func(now time.Time)) {
+	e.PostEvent(src, dst, at, funcHandler{}, EventArg{P: fn})
+}
+
+// PostEvent implements Sched.
+func (e *Engine) PostEvent(src, dst *Lane, at time.Time, h Handler, arg EventArg) {
 	if src == nil {
 		src = e.control
 	}
@@ -216,7 +270,19 @@ func (e *Engine) Post(src, dst *Lane, at time.Time, fn func(now time.Time)) {
 		nanos = e.nowNanos
 	}
 	src.seq++
-	e.queue.push(event{at: nanos, lane: dst.id, src: src.id, seq: src.seq, fn: fn})
+	e.queue.push(event{at: nanos, lane: dst.id, src: src.id, seq: src.seq, h: h, arg: arg})
+}
+
+// SetWorkerLocal implements Sched. The serial engine has exactly one
+// worker, so one instance serves every lane.
+func (e *Engine) SetWorkerLocal(factory func() any) { e.localFn = factory }
+
+// WorkerLocal implements Sched.
+func (e *Engine) WorkerLocal(*Lane) any {
+	if e.local == nil && e.localFn != nil {
+		e.local = e.localFn()
+	}
+	return e.local
 }
 
 // At schedules fn on the control lane at virtual time t. Times in the
@@ -253,7 +319,7 @@ func (e *Engine) RunUntil(deadline time.Time) {
 		next := e.queue.pop()
 		e.setNow(next.at)
 		e.steps++
-		next.fn(e.now)
+		next.fire(e.now)
 	}
 	if limit > e.nowNanos {
 		e.setNow(limit)
@@ -269,7 +335,7 @@ func (e *Engine) Run() {
 		next := e.queue.pop()
 		e.setNow(next.at)
 		e.steps++
-		next.fn(e.now)
+		next.fire(e.now)
 	}
 }
 
@@ -354,11 +420,14 @@ func newTicker(s Sched, l *Lane, period, offset time.Duration, fn func(now time.
 		offset = 0
 	}
 	t := &Ticker{s: s, lane: l, period: period, fn: fn}
-	s.Post(l, l, s.LaneNow(l).Add(offset), t.fire)
+	s.PostEvent(l, l, s.LaneNow(l).Add(offset), t, EventArg{})
 	return t
 }
 
-func (t *Ticker) fire(now time.Time) {
+// Fire implements Handler: the ticker itself is the event handler, so
+// the steady-state reschedule of every simulated protocol period posts
+// without allocating (no per-firing method-value closure).
+func (t *Ticker) Fire(now time.Time, _ EventArg) {
 	if t.stopped {
 		return
 	}
@@ -366,7 +435,7 @@ func (t *Ticker) fire(now time.Time) {
 	if t.stopped { // fn may have stopped the ticker
 		return
 	}
-	t.s.Post(t.lane, t.lane, now.Add(t.period), t.fire)
+	t.s.PostEvent(t.lane, t.lane, now.Add(t.period), t, EventArg{})
 }
 
 // Stop cancels future firings. It is idempotent.

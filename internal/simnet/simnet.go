@@ -100,10 +100,13 @@ type Network struct {
 	loss        LossModel // nil = lossless (no draw per send)
 	undelivered UndeliveredFunc
 
-	bySim  []*Endpoint          // dense table indexed by ids.SimIndex
-	others map[ids.ID]*Endpoint // non-simulated identities (lazily built)
-	order  []*Endpoint          // attachment order, for deterministic iteration
-	alive  []*Endpoint          // registry: current alive set, swap-remove maintained
+	// Endpoint state is interned: identities resolve to dense uint32
+	// indexes (ids.Interner), endpoints live in a flat slice under
+	// those indexes, and delivery events reference endpoints by index —
+	// two packed words instead of a captured closure per message.
+	interner ids.Interner
+	eps      []*Endpoint // dense table indexed by interned index (= attachment order)
+	alive    []*Endpoint // registry: current alive set, swap-remove maintained
 
 	lossErr error // deferred WithLoss validation error, surfaced by New
 }
@@ -204,13 +207,10 @@ func (n *Network) CrossLaneBound(after time.Duration) time.Duration {
 
 // lookup resolves an identity to its endpoint (nil if unknown).
 func (n *Network) lookup(id ids.ID) *Endpoint {
-	if idx, ok := ids.SimIndex(id); ok {
-		if idx < len(n.bySim) {
-			return n.bySim[idx]
-		}
-		return nil
+	if idx, ok := n.interner.Index(id); ok {
+		return n.eps[idx]
 	}
-	return n.others[id]
+	return nil
 }
 
 // Attach registers a new endpoint with the given identity and message
@@ -226,18 +226,8 @@ func (n *Network) Attach(id ids.ID, h Handler) (*Endpoint, error) {
 		return nil, fmt.Errorf("simnet: endpoint %v already attached", id)
 	}
 	ep := &Endpoint{net: n, id: id, handler: h, lane: n.eng.AddLane(), alivePos: -1}
-	if idx, ok := ids.SimIndex(id); ok {
-		for len(n.bySim) <= idx {
-			n.bySim = append(n.bySim, nil)
-		}
-		n.bySim[idx] = ep
-	} else {
-		if n.others == nil {
-			n.others = make(map[ids.ID]*Endpoint)
-		}
-		n.others[id] = ep
-	}
-	n.order = append(n.order, ep)
+	ep.idx = n.interner.Intern(id)
+	n.eps = append(n.eps, ep)
 	return ep, nil
 }
 
@@ -256,7 +246,7 @@ func (n *Network) AliveCount() int { return len(n.alive) }
 // attachment order.
 func (n *Network) AliveIDs() []ids.ID {
 	out := make([]ids.ID, 0, len(n.alive))
-	for _, ep := range n.order {
+	for _, ep := range n.eps {
 		if ep.alivePos >= 0 {
 			out = append(out, ep.id)
 		}
@@ -293,6 +283,7 @@ func (n *Network) RandomAlive(exclude ids.ID) ids.ID {
 type Endpoint struct {
 	net      *Network
 	id       ids.ID
+	idx      uint32 // interned index in net.eps
 	lane     *sim.Lane
 	alive    bool      // delivery flag, owned by the endpoint's lane
 	alivePos int       // registry: index in net.alive while alive, -1 otherwise
@@ -396,18 +387,31 @@ func (ep *Endpoint) Send(to ids.ID, msg any, size int) {
 		ep.counters.Dropped++
 		return
 	}
-	from := ep
 	now := ep.net.eng.LaneNow(ep.lane)
 	d := ep.net.latency.Latency(ep.id, to, ep.lane.Rand())
-	ep.net.eng.Post(ep.lane, dst.lane, now.Add(d), func(now time.Time) {
-		if !dst.alive {
-			from.chargeUseless(to, msg, size)
-			return
-		}
-		dst.counters.MsgsIn++
-		dst.counters.BytesIn += uint64(size)
-		dst.handler(from.id, msg, size, now)
+	// Deliveries are posted as handler events keyed by interned endpoint
+	// indexes — two packed words plus the payload — so the steady-state
+	// send path allocates nothing.
+	ep.net.eng.PostEvent(ep.lane, dst.lane, now.Add(d), ep.net, sim.EventArg{
+		A: uint64(size),
+		B: uint64(ep.idx)<<32 | uint64(dst.idx),
+		P: msg,
 	})
+}
+
+// Fire delivers one in-flight message (posted by Send) on the
+// destination's lane: sim.Handler implementation.
+func (n *Network) Fire(now time.Time, arg sim.EventArg) {
+	from := n.eps[arg.B>>32]
+	dst := n.eps[uint32(arg.B)]
+	size := int(arg.A)
+	if !dst.alive {
+		from.chargeUseless(dst.id, arg.P, size)
+		return
+	}
+	dst.counters.MsgsIn++
+	dst.counters.BytesIn += uint64(size)
+	dst.handler(from.id, arg.P, size, now)
 }
 
 // chargeUseless records an undeliverable message on the sender's
